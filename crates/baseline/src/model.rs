@@ -1,0 +1,91 @@
+//! Cost model of the traditional kernel-mediated path.
+
+use shrimp_sim::SimDuration;
+
+/// NX/2 `csend` fast-path instructions (paper §5.2).
+pub const NX2_CSEND_INSTRUCTIONS: u64 = 222;
+
+/// NX/2 `crecv` fast-path instructions (paper §5.2).
+pub const NX2_CRECV_INSTRUCTIONS: u64 = 261;
+
+/// Intel DELTA send+receive software overhead in microseconds (paper §1).
+pub const DELTA_SOFTWARE_OVERHEAD_US: f64 = 67.0;
+
+/// Parameters of the kernel-mediated baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineConfig {
+    /// Base cost of one instruction.
+    pub cpu_cycle: SimDuration,
+    /// Cost of crossing into the kernel and back (trap + dispatch +
+    /// return).
+    pub syscall_cost: SimDuration,
+    /// Cost of taking and dismissing a DMA completion interrupt.
+    pub interrupt_cost: SimDuration,
+    /// `csend` kernel fast-path instructions.
+    pub csend_instructions: u64,
+    /// `crecv` kernel fast-path instructions.
+    pub crecv_instructions: u64,
+    /// Rate of the kernel's user↔system buffer copies in bytes/second.
+    pub copy_bytes_per_sec: u64,
+    /// DMA engine setup cost per transfer.
+    pub dma_setup: SimDuration,
+    /// DMA rate to/from the wire in bytes/second.
+    pub dma_bytes_per_sec: u64,
+}
+
+impl BaselineConfig {
+    /// iPSC/2-class parameters: i386 CPUs, kernel-buffered messages,
+    /// DMA with completion interrupts. Instruction counts are the
+    /// paper's NX/2 figures.
+    pub fn ipsc2() -> Self {
+        BaselineConfig {
+            cpu_cycle: SimDuration::from_ns(60), // 16 MHz i386, ~1 ipc
+            syscall_cost: SimDuration::from_us(5),
+            interrupt_cost: SimDuration::from_us(8),
+            csend_instructions: NX2_CSEND_INSTRUCTIONS,
+            crecv_instructions: NX2_CRECV_INSTRUCTIONS,
+            copy_bytes_per_sec: 20_000_000,
+            dma_setup: SimDuration::from_us(2),
+            dma_bytes_per_sec: 22_000_000, // iPSC/2 Direct-Connect class
+        }
+    }
+
+    /// The per-side software-only durations (instructions × cycle +
+    /// syscall + interrupt), excluding copies — the quantity the DELTA
+    /// measurement describes.
+    pub fn software_overhead(&self) -> (SimDuration, SimDuration) {
+        let send = self.cpu_cycle * self.csend_instructions + self.syscall_cost + self.interrupt_cost;
+        let recv = self.cpu_cycle * self.crecv_instructions + self.syscall_cost + self.interrupt_cost;
+        (send, recv)
+    }
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig::ipsc2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_carry_the_papers_numbers() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.csend_instructions, 222);
+        assert_eq!(c.crecv_instructions, 261);
+    }
+
+    #[test]
+    fn software_overhead_is_tens_of_microseconds() {
+        // The paper's DELTA point: traditional software overhead is on
+        // the order of 67 us for send+receive.
+        let (s, r) = BaselineConfig::default().software_overhead();
+        let total = (s + r).as_micros_f64();
+        assert!(
+            (30.0..120.0).contains(&total),
+            "send+recv software overhead {total} us should be tens of us"
+        );
+    }
+}

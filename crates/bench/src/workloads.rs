@@ -1,0 +1,161 @@
+//! Synthetic traffic patterns for backplane characterization.
+//!
+//! Not a paper experiment — an extension exercising the mesh substrate
+//! the way the interconnect literature the paper builds on (Dally &
+//! Seitz) characterizes routers: per-pattern throughput and latency
+//! under offered load.
+
+use shrimp_mesh::{MeshShape, NodeId};
+use shrimp_sim::SimRng;
+
+/// A spatial traffic pattern: who sends to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every source picks an independent uniformly random destination
+    /// (excluding itself).
+    UniformRandom,
+    /// Node (x, y) sends to node (y, x) — the classic adversarial
+    /// pattern for dimension-order routing. Requires a square mesh.
+    Transpose,
+    /// Everyone sends to one node.
+    HotSpot(NodeId),
+    /// Node i sends to node (i + n/2) mod n ("tornado"-like shift).
+    Shift,
+    /// Nearest neighbor to the east (wrapping within the row).
+    NeighborEast,
+}
+
+impl TrafficPattern {
+    /// All patterns exercised by the characterization bench on a square
+    /// mesh.
+    pub fn all(shape: MeshShape) -> Vec<TrafficPattern> {
+        vec![
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::HotSpot(NodeId(shape.nodes() / 2)),
+            TrafficPattern::Shift,
+            TrafficPattern::NeighborEast,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            TrafficPattern::UniformRandom => "uniform".into(),
+            TrafficPattern::Transpose => "transpose".into(),
+            TrafficPattern::HotSpot(n) => format!("hotspot({n})"),
+            TrafficPattern::Shift => "shift".into(),
+            TrafficPattern::NeighborEast => "neighbor".into(),
+        }
+    }
+
+    /// The destination for `src` under this pattern, or `None` when the
+    /// node stays silent this round (a hot-spot target does not send to
+    /// itself).
+    pub fn destination(
+        &self,
+        shape: MeshShape,
+        src: NodeId,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
+        let n = shape.nodes();
+        match *self {
+            TrafficPattern::UniformRandom => {
+                if n == 1 {
+                    return None;
+                }
+                loop {
+                    let d = NodeId(rng.gen_range(0..n));
+                    if d != src {
+                        return Some(d);
+                    }
+                }
+            }
+            TrafficPattern::Transpose => {
+                let c = shape.coord_of(src);
+                let t = shrimp_mesh::MeshCoord { x: c.y, y: c.x };
+                let d = shape.id_at(t);
+                (d != src).then_some(d)
+            }
+            TrafficPattern::HotSpot(target) => (src != target).then_some(target),
+            TrafficPattern::Shift => {
+                let d = NodeId((src.0 + n / 2) % n);
+                (d != src).then_some(d)
+            }
+            TrafficPattern::NeighborEast => {
+                let c = shape.coord_of(src);
+                let d = shape.id_at(shrimp_mesh::MeshCoord {
+                    x: (c.x + 1) % shape.width(),
+                    y: c.y,
+                });
+                (d != src).then_some(d)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> MeshShape {
+        MeshShape::new(4, 4)
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let s = shape();
+        let mut rng = SimRng::seed_from(1);
+        // (1,2) = id 9 -> (2,1) = id 6.
+        let d = TrafficPattern::Transpose
+            .destination(s, NodeId(9), &mut rng)
+            .unwrap();
+        assert_eq!(d, NodeId(6));
+        // Diagonal nodes stay silent.
+        assert!(TrafficPattern::Transpose.destination(s, NodeId(5), &mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let s = shape();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..200 {
+            let d = TrafficPattern::UniformRandom
+                .destination(s, NodeId(3), &mut rng)
+                .unwrap();
+            assert_ne!(d, NodeId(3));
+            assert!(s.contains(d));
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_node() {
+        let s = shape();
+        let mut rng = SimRng::seed_from(3);
+        let p = TrafficPattern::HotSpot(NodeId(5));
+        assert_eq!(p.destination(s, NodeId(0), &mut rng), Some(NodeId(5)));
+        assert_eq!(p.destination(s, NodeId(5), &mut rng), None);
+    }
+
+    #[test]
+    fn shift_and_neighbor_stay_on_mesh() {
+        let s = shape();
+        let mut rng = SimRng::seed_from(4);
+        for src in s.iter_nodes() {
+            for p in [TrafficPattern::Shift, TrafficPattern::NeighborEast] {
+                if let Some(d) = p.destination(s, src, &mut rng) {
+                    assert!(s.contains(d));
+                    assert_ne!(d, src);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = TrafficPattern::all(shape()).iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

@@ -1,0 +1,1658 @@
+//! The whole-machine model.
+//!
+//! [`Machine`] composes, per node, a CPU, physical memory, a snooping
+//! cache, the Xpress and EISA buses, the SHRIMP network interface and a
+//! kernel — and connects the nodes through the mesh backplane. A single
+//! deterministic event loop advances everything.
+//!
+//! The datapath follows Figure 4 of the paper exactly:
+//!
+//! 1. a user-level `store` to a write-through mapped page appears on the
+//!    Xpress bus, where the NIC snoops it and (per the NIPT entry's
+//!    update policy) packetizes it;
+//! 2. the Outgoing FIFO drains into the mesh when the injection port is
+//!    free;
+//! 3. at the destination, the packet is verified (coordinates + CRC),
+//!    queued on the Incoming FIFO, and DMA'd over the EISA bus straight
+//!    into main memory — invalidating matching cache lines — with no CPU
+//!    involvement;
+//! 4. deliberate-update transfers start from user level with a locked
+//!    `CMPXCHG` against a command page and stream a page through the same
+//!    outgoing datapath.
+
+use std::collections::BTreeMap;
+
+use shrimp_cpu::{Cpu, MemoryBus, Program, Reg, StepResult};
+use shrimp_mem::{
+    CacheMode, CacheModel, EisaBus, MemError, PageNum, PhysAddr, PhysicalMemory, Tlb, VirtAddr,
+    XpressBus, PAGE_SIZE, WORD_SIZE,
+};
+use shrimp_mesh::{MeshNetwork, NodeId};
+use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, UpdatePolicy};
+use shrimp_os::kernel::OutgoingRecord;
+use shrimp_os::{ExportId, Kernel, KernelMsg, OsError, Pid, RoundRobin, SchedDecision};
+use shrimp_sim::{EventQueue, SimDuration, SimTime};
+
+use crate::config::MachineConfig;
+use crate::error::MachineError;
+
+/// Identifies one established mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MappingId(pub u32);
+
+/// A request to establish a virtual memory mapping — the kernel half of
+/// the paper's
+/// `map(send-buf, destination, receive-buf)` call (§2). The receive
+/// buffer is named by an export the receiving process published.
+#[derive(Debug, Clone, Copy)]
+pub struct MapRequest {
+    /// Sending node.
+    pub src_node: NodeId,
+    /// Sending process.
+    pub src_pid: Pid,
+    /// First byte of the send buffer (any alignment).
+    pub src_va: VirtAddr,
+    /// Receiving node.
+    pub dst_node: NodeId,
+    /// The receiving process's export.
+    pub export: ExportId,
+    /// Byte offset into the exported buffer (any alignment).
+    pub dst_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Transfer strategy.
+    pub policy: UpdatePolicy,
+}
+
+/// One delivered packet's memory arrival, for latency experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// When the data was fully in destination DRAM.
+    pub time: SimTime,
+    /// Receiving node.
+    pub node: NodeId,
+    /// Destination physical address.
+    pub dst_addr: PhysAddr,
+    /// Payload length.
+    pub len: u64,
+    /// Sending node.
+    pub src: NodeId,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    CpuStep { node: u16 },
+    NicHousekeep { node: u16 },
+    DrainOutgoing { node: u16 },
+    PopIncoming { node: u16 },
+    DmaComplete { node: u16, addr: PhysAddr, data: Vec<u8> },
+    KernelMsg { node: u16, msg: KernelMsg },
+}
+
+#[derive(Debug)]
+struct NodeState {
+    kernel: Kernel,
+    mem: PhysicalMemory,
+    cache: CacheModel,
+    xpress: XpressBus,
+    eisa: EisaBus,
+    nic: NetworkInterface,
+    tlb: Tlb,
+    sched: RoundRobin,
+    cpus: BTreeMap<Pid, Cpu>,
+    running: Option<Pid>,
+    cpu_busy_until: SimTime,
+    /// Pending-wakeup dedup: earliest scheduled PopIncoming /
+    /// DrainOutgoing / NicHousekeep event, so the pump paths don't flood
+    /// the queue with redundant wakeups.
+    pop_wakeup: Option<SimTime>,
+    drain_wakeup: Option<SimTime>,
+    housekeep_wakeup: Option<SimTime>,
+}
+
+#[derive(Debug, Clone)]
+struct Registration {
+    #[allow(dead_code)] // returned to callers; kept for future unmap()
+    id: MappingId,
+    req: MapRequest,
+}
+
+/// The simulated SHRIMP multicomputer.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_core::{Machine, MachineConfig, MapRequest};
+/// use shrimp_nic::UpdatePolicy;
+/// use shrimp_mesh::NodeId;
+///
+/// let mut m = Machine::new(MachineConfig::two_nodes());
+/// let sender = m.create_process(NodeId(0));
+/// let receiver = m.create_process(NodeId(1));
+/// let send_buf = m.alloc_pages(NodeId(0), sender, 1)?;
+/// let recv_buf = m.alloc_pages(NodeId(1), receiver, 1)?;
+/// let export = m.export_buffer(NodeId(1), receiver, recv_buf, 1, None)?;
+/// m.map(MapRequest {
+///     src_node: NodeId(0),
+///     src_pid: sender,
+///     src_va: send_buf,
+///     dst_node: NodeId(1),
+///     export,
+///     dst_offset: 0,
+///     len: 4096,
+///     policy: UpdatePolicy::AutomaticSingle,
+/// })?;
+/// // An ordinary store now propagates to node 1's memory:
+/// m.poke(NodeId(0), sender, send_buf, &42u32.to_le_bytes())?;
+/// m.run_until_idle()?;
+/// let bytes = m.peek(NodeId(1), receiver, recv_buf, 4)?;
+/// assert_eq!(u32::from_le_bytes(bytes.try_into().unwrap()), 42);
+/// # Ok::<(), shrimp_core::MachineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    nodes: Vec<NodeState>,
+    mesh: MeshNetwork,
+    events: EventQueue<Event>,
+    now: SimTime,
+    registrations: Vec<Registration>,
+    next_mapping: u32,
+    interrupt_log: Vec<(SimTime, NodeId, NicInterrupt)>,
+    syscall_log: Vec<(SimTime, NodeId, Pid, u32)>,
+    delivery_log: Vec<DeliveryRecord>,
+    drop_log: Vec<(SimTime, NodeId, NicError)>,
+}
+
+impl Machine {
+    /// Builds an idle machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate();
+        let shape = config.shape;
+        let nodes = shape
+            .iter_nodes()
+            .map(|id| NodeState {
+                kernel: Kernel::with_policy(
+                    id,
+                    config.pages_per_node,
+                    shrimp_os::kernel::ConsistencyPolicy::Invalidate,
+                ),
+                mem: PhysicalMemory::new(config.pages_per_node),
+                cache: CacheModel::new(config.cache),
+                xpress: XpressBus::new(config.bus),
+                eisa: EisaBus::new(config.bus),
+                nic: NetworkInterface::new(id, shape, config.nic, config.pages_per_node),
+                tlb: Tlb::new(config.tlb_entries),
+                sched: RoundRobin::new(config.quantum),
+                cpus: BTreeMap::new(),
+                running: None,
+                cpu_busy_until: SimTime::ZERO,
+                pop_wakeup: None,
+                drain_wakeup: None,
+                housekeep_wakeup: None,
+            })
+            .collect();
+        Machine {
+            config,
+            nodes,
+            mesh: MeshNetwork::new(config.mesh),
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            registrations: Vec::new(),
+            next_mapping: 1,
+            interrupt_log: Vec::new(),
+            syscall_log: Vec::new(),
+            delivery_log: Vec::new(),
+            drop_log: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    // ────────────────────────── kernel services ──────────────────────────
+
+    /// Creates a process on `node`.
+    pub fn create_process(&mut self, node: NodeId) -> Pid {
+        self.node_mut(node).kernel.create_process()
+    }
+
+    /// Allocates `pages` fresh pages in a process, returning the base
+    /// virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel allocation errors.
+    pub fn alloc_pages(&mut self, node: NodeId, pid: Pid, pages: u64) -> Result<VirtAddr, MachineError> {
+        let vpn = self.node_mut(node).kernel.alloc_pages(pid, pages)?;
+        Ok(vpn.base())
+    }
+
+    /// Publishes `[va, va + pages)` of a process as mappable by remote
+    /// senders (optionally restricted to one node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel export errors.
+    pub fn export_buffer(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        va: VirtAddr,
+        pages: u64,
+        allowed: Option<NodeId>,
+    ) -> Result<ExportId, MachineError> {
+        assert_eq!(va.offset(), 0, "exports are page-granular");
+        Ok(self
+            .node_mut(node)
+            .kernel
+            .export_buffer(pid, va.page(), pages, allowed)?)
+    }
+
+    /// Establishes a virtual memory mapping: the expensive, fully
+    /// protection-checked `map` system call of paper §2. Costs
+    /// [`MachineConfig::map_syscall_cost`] of simulated time.
+    ///
+    /// Arbitrary (non-page-aligned) ranges are supported through the
+    /// §3.2 split-page mechanism; each source page may end up carrying
+    /// two NIPT segments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the send buffer is not mapped, the export does not admit
+    /// the sender, or the NIPT cannot hold the required segments.
+    pub fn map(&mut self, req: MapRequest) -> Result<MappingId, MachineError> {
+        if req.len == 0 {
+            return Err(MachineError::EmptyMapping);
+        }
+        let first_dst_page_index = req.dst_offset / PAGE_SIZE;
+        let last_dst_page_index = (req.dst_offset + req.len - 1) / PAGE_SIZE;
+        let dst_pages = last_dst_page_index - first_dst_page_index + 1;
+
+        // Receiver half: protection check, pin/record, collect frames.
+        let token = self.node_mut(req.dst_node).kernel.grant_in_mapping(
+            req.export,
+            req.src_node,
+            first_dst_page_index,
+            dst_pages,
+        )?;
+        for &frame in &token.frames {
+            self.node_mut(req.dst_node)
+                .nic
+                .nipt_mut()
+                .set_mapped_in(frame, true)?;
+        }
+
+        // Sender half: validate + write-through caching.
+        let first_src_vpn = req.src_va.page();
+        let last_src_vpn = req.src_va.add(req.len - 1).page();
+        let src_pages = last_src_vpn.raw() - first_src_vpn.raw() + 1;
+        self.node_mut(req.src_node)
+            .kernel
+            .prepare_out_mapping(req.src_pid, first_src_vpn, src_pages, req.dst_node, &{
+                // Primary destination frame per source page, for the §4.4
+                // bookkeeping; split segments add extra records below.
+                (0..src_pages)
+                    .map(|i| {
+                        // First buffer byte living on source page i.
+                        let byte = (i * PAGE_SIZE)
+                            .saturating_sub(req.src_va.offset())
+                            .min(req.len - 1);
+                        let idx = (req.dst_offset + byte) / PAGE_SIZE;
+                        token.frames[(idx - first_dst_page_index) as usize]
+                    })
+                    .collect::<Vec<_>>()
+            })?;
+        self.flush_tlb(req.src_node);
+
+        // Build the NIPT segments by walking both sides simultaneously,
+        // splitting at every page boundary of either side.
+        let mut pos = 0u64;
+        while pos < req.len {
+            let src_byte = req.src_va.add(pos);
+            let src_vpn = src_byte.page();
+            let src_frame = self.node(req.src_node).kernel.frame_of(req.src_pid, src_vpn)?;
+            let src_off = src_byte.offset();
+
+            let dst_byte = req.dst_offset + pos;
+            let dst_page_index = dst_byte / PAGE_SIZE;
+            let dst_frame = token.frames[(dst_page_index - first_dst_page_index) as usize];
+            let dst_off = dst_byte % PAGE_SIZE;
+
+            let chunk = (PAGE_SIZE - src_off)
+                .min(PAGE_SIZE - dst_off)
+                .min(req.len - pos);
+
+            let seg = OutSegment {
+                src_start: src_off,
+                src_end: src_off + chunk,
+                dst_node: req.dst_node,
+                dst_base: dst_frame.base().add(dst_off),
+                policy: req.policy,
+            };
+            self.node_mut(req.src_node)
+                .nic
+                .nipt_mut()
+                .set_out_segment(src_frame, seg)?;
+            self.node_mut(req.src_node)
+                .kernel
+                .add_outgoing_record(OutgoingRecord {
+                    dst_node: req.dst_node,
+                    dst_frame,
+                    pid: req.src_pid,
+                    vpn: src_vpn,
+                    src_frame,
+                });
+            pos += chunk;
+        }
+
+        let id = MappingId(self.next_mapping);
+        self.next_mapping += 1;
+        self.registrations.push(Registration { id, req });
+
+        // The map call is the deliberately slow, rare operation.
+        let done = self.now + self.config.map_syscall_cost;
+        self.run_until(done);
+        Ok(id)
+    }
+
+    /// Tears down a mapping established by [`Machine::map`]: removes the
+    /// sender's NIPT segments and kernel records, restores write-back
+    /// caching on source pages with no remaining outgoing mappings, and
+    /// releases the receiver's mapped-in state when no other sender
+    /// imports those frames. Costs half a `map` call of kernel time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::EmptyMapping`] if `id` is unknown (or
+    /// already unmapped).
+    pub fn unmap(&mut self, id: MappingId) -> Result<(), MachineError> {
+        let pos = self
+            .registrations
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(MachineError::EmptyMapping)?;
+        let req = self.registrations.remove(pos).req;
+
+        // Walk the mapped range exactly as map() did, clearing segments.
+        let mut dst_frames = Vec::new();
+        let mut pos_b = 0u64;
+        while pos_b < req.len {
+            let src_byte = req.src_va.add(pos_b);
+            let src_vpn = src_byte.page();
+            let src_frame = self.node(req.src_node).kernel.frame_of(req.src_pid, src_vpn)?;
+            let dst_byte = req.dst_offset + pos_b;
+            let dst_off = dst_byte % PAGE_SIZE;
+            let chunk = (PAGE_SIZE - src_byte.offset())
+                .min(PAGE_SIZE - dst_off)
+                .min(req.len - pos_b);
+            if let Some(seg) = self.nodes[req.src_node.0 as usize]
+                .nic
+                .nipt_mut()
+                .clear_out_segment(src_frame, src_byte.offset())
+            {
+                dst_frames.push(seg.dst_base.page());
+            }
+            let removed = self.nodes[req.src_node.0 as usize]
+                .kernel
+                .remove_outgoing(req.src_pid, src_vpn, req.dst_node);
+            dst_frames.extend(removed.iter().map(|r| r.dst_frame));
+            // Restore write-back caching if this page has no other
+            // outgoing segments left.
+            let frame_clear = self.nodes[req.src_node.0 as usize]
+                .nic
+                .nipt()
+                .entry(src_frame)
+                .is_none_or(|e| !e.is_mapped_out());
+            if frame_clear {
+                if let Some(proc) = self.nodes[req.src_node.0 as usize]
+                    .kernel
+                    .process_mut(req.src_pid)
+                {
+                    proc.page_table_mut().set_cache_mode(src_vpn, CacheMode::WriteBack);
+                }
+            }
+            pos_b += chunk;
+        }
+        self.flush_tlb(req.src_node);
+
+        dst_frames.sort_unstable();
+        dst_frames.dedup();
+        for frame in dst_frames {
+            let free = self.nodes[req.dst_node.0 as usize]
+                .kernel
+                .release_import(frame, req.src_node);
+            if free {
+                let _ = self.nodes[req.dst_node.0 as usize]
+                    .nic
+                    .nipt_mut()
+                    .set_mapped_in(frame, false);
+            }
+        }
+
+        let done = self.now + self.config.map_syscall_cost / 2;
+        self.run_until(done);
+        Ok(())
+    }
+
+    /// Maps the command page controlling the page backing `data_va` into
+    /// the process's address space, returning the command page's virtual
+    /// base address (§4.2). Accesses at offset `o` of the command page
+    /// talk to the NIC about offset `o` of the data page.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data_va` is not mapped.
+    pub fn map_command_page(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        data_va: VirtAddr,
+    ) -> Result<VirtAddr, MachineError> {
+        let pages_per_node = self.config.pages_per_node;
+        let frame = self.node(node).kernel.frame_of(pid, data_va.page())?;
+        let kernel = &mut self.node_mut(node).kernel;
+        let proc = kernel
+            .process_mut(pid)
+            .ok_or(MachineError::Os(OsError::NoSuchProcess(pid)))?;
+        let vpn = proc.reserve_vpns(1);
+        // Command "frames" live just past installed memory, at the fixed
+        // distance the hardware decodes.
+        let cmd_frame = PageNum::new(pages_per_node + frame.raw());
+        proc.page_table_mut().map(
+            vpn,
+            cmd_frame,
+            shrimp_mem::PageFlags {
+                protection: shrimp_mem::Protection::ReadWrite,
+                cache_mode: CacheMode::WriteThrough, // uncached in effect; bypassed below
+                pinned: true,
+            },
+        );
+        Ok(vpn.base())
+    }
+
+    // ───────────────────────── program execution ─────────────────────────
+
+    /// Binds a program to `(node, pid)` as its CPU context.
+    pub fn load_program(&mut self, node: NodeId, pid: Pid, program: Program) {
+        let cpu = Cpu::with_config(program, self.config.cpu);
+        self.node_mut(node).cpus.insert(pid, cpu);
+    }
+
+    /// Sets a register of a process's CPU (experiment setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has no loaded program.
+    pub fn set_reg(&mut self, node: NodeId, pid: Pid, reg: Reg, value: u32) {
+        self.node_mut(node)
+            .cpus
+            .get_mut(&pid)
+            .expect("process has no loaded program")
+            .set_reg(reg, value);
+    }
+
+    /// Read access to a process's CPU (instruction counters, registers).
+    pub fn cpu(&self, node: NodeId, pid: Pid) -> Option<&Cpu> {
+        self.node(node).cpus.get(&pid)
+    }
+
+    /// Points a process's CPU at a label (reusing one program for several
+    /// routines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has no loaded program or the label is
+    /// unknown.
+    pub fn jump_to_label(&mut self, node: NodeId, pid: Pid, label: &str) {
+        self.node_mut(node)
+            .cpus
+            .get_mut(&pid)
+            .expect("process has no loaded program")
+            .jump_to_label(label);
+    }
+
+    /// Makes a process runnable and kicks its node's CPU.
+    pub fn start(&mut self, node: NodeId, pid: Pid) {
+        let now = self.now;
+        let n = self.node_mut(node);
+        n.sched.add(pid);
+        let at = now.max(n.cpu_busy_until);
+        self.events.push(at, Event::CpuStep { node: node.0 });
+    }
+
+    /// True when every loaded CPU has halted.
+    pub fn all_halted(&self) -> bool {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.cpus.values())
+            .all(|c| c.is_halted())
+    }
+
+    // ───────────────────────── host-level data ops ───────────────────────
+
+    /// Writes bytes through the full store datapath (translation, cache,
+    /// bus, NIC snooping) at the current time, word by word. Advances
+    /// simulated time past the last bus transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and protection errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `va` and `data.len()` are word-aligned.
+    pub fn poke(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        va: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), MachineError> {
+        assert!(va.is_word_aligned(), "poke must be word-aligned");
+        assert_eq!(data.len() % WORD_SIZE as usize, 0, "poke length must be whole words");
+        let mut t = self.now;
+        for (i, word) in data.chunks_exact(4).enumerate() {
+            let value = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
+            let addr = va.add(i as u64 * WORD_SIZE);
+            t = self.store_through(node, pid, t, addr, value)?;
+        }
+        self.run_until(t);
+        Ok(())
+    }
+
+    /// Reads process memory without advancing time (experiment
+    /// observation, not part of the modelled workload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn peek(
+        &self,
+        node: NodeId,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<u8>, MachineError> {
+        let n = self.node(node);
+        let proc = n
+            .kernel
+            .process(pid)
+            .ok_or(MachineError::Os(OsError::NoSuchProcess(pid)))?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = 0;
+        while pos < len {
+            let a = va.add(pos);
+            let t = proc.page_table().translate_read(a)?;
+            let chunk = (PAGE_SIZE - a.offset()).min(len - pos);
+            out.extend_from_slice(&n.mem.read_bytes(t.phys, chunk)?);
+            pos += chunk;
+        }
+        Ok(out)
+    }
+
+    /// Reads physical memory directly (tests and benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors.
+    pub fn peek_phys(&self, node: NodeId, addr: PhysAddr, len: u64) -> Result<Vec<u8>, MachineError> {
+        Ok(self.node(node).mem.read_bytes(addr, len)?)
+    }
+
+    // ───────────────────────────── paging ────────────────────────────────
+
+    /// Starts the §4.4 pageout protocol for a frame of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel protocol errors (pinned frame, no importers,
+    /// already in progress).
+    pub fn begin_pageout(&mut self, node: NodeId, frame: PageNum) -> Result<(), MachineError> {
+        let msgs = self.node_mut(node).kernel.begin_pageout(frame)?;
+        let latency = self.config.kernel_msg_latency;
+        for (dst, msg) in msgs {
+            self.events.push(
+                self.now + latency,
+                Event::KernelMsg { node: dst.0, msg },
+            );
+        }
+        Ok(())
+    }
+
+    /// True once every importer acknowledged (run the machine first).
+    pub fn pageout_complete(&self, node: NodeId, frame: PageNum) -> bool {
+        self.node(node).kernel.pageout_complete(frame)
+    }
+
+    /// Finishes a complete pageout, freeing the frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel protocol errors.
+    pub fn complete_pageout(&mut self, node: NodeId, frame: PageNum) -> Result<(), MachineError> {
+        let n = self.node_mut(node);
+        n.kernel.complete_pageout(frame)?;
+        n.nic.nipt_mut().set_mapped_in(frame, false)?;
+        self.flush_tlb(node);
+        Ok(())
+    }
+
+    // ──────────────────────────── event loop ─────────────────────────────
+
+    /// Runs until `limit`, processing machine and mesh events in time
+    /// order.
+    pub fn run_until(&mut self, limit: SimTime) {
+        loop {
+            let tm = self.events.peek_time();
+            let tn = self.mesh.next_event_time();
+            let next = match (tm, tn) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next > limit {
+                break;
+            }
+            self.now = self.now.max(next);
+            if tn.is_some_and(|t| t <= next) {
+                self.mesh.advance(next);
+                self.pump_network(next);
+            }
+            while self.events.peek_time() == Some(next) {
+                let (_, ev) = self.events.pop().expect("peeked event");
+                self.handle(next, ev);
+            }
+        }
+        self.now = self.now.max(limit);
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no machine or mesh events remain (all CPUs halted or
+    /// spinning CPUs excepted — a spinning CPU never quiesces, so this
+    /// errors if more than `MAX_IDLE_STEPS` events fire without the
+    /// queues emptying).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoQuiescence`] if the machine keeps
+    /// generating events (e.g. a CPU is spin-waiting forever).
+    pub fn run_until_idle(&mut self) -> Result<(), MachineError> {
+        const MAX_IDLE_STEPS: u64 = 50_000_000;
+        let mut steps = 0u64;
+        loop {
+            let tm = self.events.peek_time();
+            let tn = self.mesh.next_event_time();
+            let next = match (tm, tn) {
+                (None, None) => return Ok(()),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            steps += 1;
+            if steps > MAX_IDLE_STEPS {
+                return Err(MachineError::NoQuiescence);
+            }
+            self.now = self.now.max(next);
+            if tn.is_some_and(|t| t <= next) {
+                self.mesh.advance(next);
+                self.pump_network(next);
+            }
+            while self.events.peek_time() == Some(next) {
+                let (_, ev) = self.events.pop().expect("peeked event");
+                self.handle(next, ev);
+            }
+        }
+    }
+
+    /// Runs until `pred` holds, checking after every event, up to
+    /// `limit`. Returns whether the predicate held.
+    pub fn run_until_pred(&mut self, limit: SimTime, mut pred: impl FnMut(&Machine) -> bool) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            let tm = self.events.peek_time();
+            let tn = self.mesh.next_event_time();
+            let next = match (tm, tn) {
+                (None, None) => return pred(self),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next > limit {
+                return false;
+            }
+            self.now = self.now.max(next);
+            if tn.is_some_and(|t| t <= next) {
+                self.mesh.advance(next);
+                self.pump_network(next);
+            }
+            while self.events.peek_time() == Some(next) {
+                let (_, ev) = self.events.pop().expect("peeked event");
+                self.handle(next, ev);
+            }
+        }
+    }
+
+    fn handle(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::CpuStep { node } => self.cpu_step(t, NodeId(node)),
+            Event::NicHousekeep { node } => {
+                self.nodes[node as usize].housekeep_wakeup = None;
+                self.nodes[node as usize].nic.poll(t);
+                self.schedule_node_wakeups(t, NodeId(node));
+                self.drain_outgoing(t, NodeId(node));
+            }
+            Event::DrainOutgoing { node } => {
+                self.nodes[node as usize].drain_wakeup = None;
+                self.drain_outgoing(t, NodeId(node));
+            }
+            Event::PopIncoming { node } => {
+                self.nodes[node as usize].pop_wakeup = None;
+                self.pop_incoming(t, NodeId(node));
+            }
+            Event::DmaComplete { node, addr, data } => {
+                let len = data.len() as u64;
+                let n = &mut self.nodes[node as usize];
+                n.mem
+                    .write_bytes(addr, &data)
+                    .expect("NIPT-checked delivery must be in range");
+                n.cache.snoop_invalidate(addr, len);
+                // No src in this event; recorded at pop time instead.
+                self.pump_network(t);
+            }
+            Event::KernelMsg { node, msg } => {
+                let from = msg.from();
+                let (replies, scrub) = self.nodes[node as usize].kernel.handle_msg(msg);
+                // Remove the NIPT out-segments that pointed at the
+                // invalidated remote frame.
+                if let KernelMsg::InvalidateNipt { from: requester, frame } = msg {
+                    for src_frame in scrub {
+                        self.scrub_segments(NodeId(node), src_frame, requester, frame);
+                    }
+                }
+                self.flush_tlb(NodeId(node));
+                let latency = self.config.kernel_msg_latency;
+                for reply in replies {
+                    self.events.push(t + latency, Event::KernelMsg { node: from.0, msg: reply });
+                }
+            }
+        }
+    }
+
+    fn scrub_segments(&mut self, node: NodeId, src_frame: PageNum, dst_node: NodeId, dst_frame: PageNum) {
+        let nipt = self.nodes[node.0 as usize].nic.nipt_mut();
+        let starts: Vec<u64> = nipt
+            .entry(src_frame)
+            .map(|e| {
+                e.segments()
+                    .filter(|s| s.dst_node == dst_node && s.dst_base.page() == dst_frame)
+                    .map(|s| s.src_start)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for start in starts {
+            nipt.clear_out_segment(src_frame, start);
+        }
+    }
+
+    // ────────────────────────── network pumping ──────────────────────────
+
+    fn pump_network(&mut self, t: SimTime) {
+        // The run loops interleave mesh events natively (they take
+        // min(machine events, mesh events)), so no wakeup needs to be
+        // scheduled here — pumping happens after every mesh advance.
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u16);
+            self.deliver_ejections(t, id);
+            self.drain_outgoing(t, id);
+            self.collect_interrupts(t, id);
+        }
+    }
+
+    fn deliver_ejections(&mut self, t: SimTime, node: NodeId) {
+        loop {
+            let n = &mut self.nodes[node.0 as usize];
+            if !n.nic.can_accept_from_network() {
+                break;
+            }
+            match self.mesh.peek_ejection(node) {
+                Some(arrival) if arrival <= t => {
+                    let (pkt, arrival) = self.mesh.eject(node).expect("peeked ejection");
+                    let n = &mut self.nodes[node.0 as usize];
+                    if let Err(e) = n.nic.accept_packet(arrival.max(t), pkt) {
+                        self.drop_log.push((t, node, e));
+                    }
+                }
+                _ => break,
+            }
+        }
+        if let Some(r) = self.nodes[node.0 as usize].nic.incoming_ready_at() {
+            self.push_pop_wakeup(t, node, r.max(t));
+        }
+    }
+
+    /// Schedules a deduplicated PopIncoming wakeup.
+    fn push_pop_wakeup(&mut self, t: SimTime, node: NodeId, at: SimTime) {
+        let n = &mut self.nodes[node.0 as usize];
+        if n.pop_wakeup.is_none_or(|w| at < w || w < t) {
+            n.pop_wakeup = Some(at);
+            self.events.push(at, Event::PopIncoming { node: node.0 });
+        }
+    }
+
+    fn drain_outgoing(&mut self, t: SimTime, node: NodeId) {
+        loop {
+            if !self.mesh.can_inject(node) {
+                // Mesh backpressure: retried on the next mesh event.
+                break;
+            }
+            let n = &mut self.nodes[node.0 as usize];
+            match n.nic.pop_outgoing(t) {
+                Some(pkt) => {
+                    let ok = self.mesh.try_inject(t, pkt);
+                    debug_assert!(ok, "can_inject checked above");
+                }
+                None => break,
+            }
+        }
+        self.schedule_node_wakeups(t, node);
+    }
+
+    fn pop_incoming(&mut self, t: SimTime, node: NodeId) {
+        loop {
+            let n = &mut self.nodes[node.0 as usize];
+            match n.nic.pop_incoming(t) {
+                Some(Ok(delivery)) => {
+                    let start = delivery.ready_at.max(t);
+                    let grant = n
+                        .eisa
+                        .dma_write(start, delivery.dst_addr, delivery.data.len() as u64)
+                        .grant;
+                    self.delivery_log.push(DeliveryRecord {
+                        time: grant.end,
+                        node,
+                        dst_addr: delivery.dst_addr,
+                        len: delivery.data.len() as u64,
+                        src: delivery.src,
+                    });
+                    self.events.push(
+                        grant.end,
+                        Event::DmaComplete {
+                            node: node.0,
+                            addr: delivery.dst_addr,
+                            data: delivery.data,
+                        },
+                    );
+                }
+                Some(Err(e)) => self.drop_log.push((t, node, e)),
+                None => break,
+            }
+        }
+        // Space freed: blocked ejections may now proceed.
+        self.deliver_ejections(t, node);
+        self.collect_interrupts(t, node);
+    }
+
+    fn collect_interrupts(&mut self, t: SimTime, node: NodeId) {
+        for irq in self.nodes[node.0 as usize].nic.take_interrupts() {
+            self.interrupt_log.push((t, node, irq));
+        }
+    }
+
+    fn schedule_node_wakeups(&mut self, t: SimTime, node: NodeId) {
+        let n = &self.nodes[node.0 as usize];
+        let housekeep = n.nic.next_deadline().map(|d| d.max(t));
+        let drain = n.nic.outgoing_ready_at().filter(|&r| r > t);
+        let pop = n.nic.incoming_ready_at().map(|r| r.max(t));
+        if let Some(at) = housekeep {
+            let n = &mut self.nodes[node.0 as usize];
+            if n.housekeep_wakeup.is_none_or(|w| at < w || w < t) {
+                n.housekeep_wakeup = Some(at);
+                self.events.push(at, Event::NicHousekeep { node: node.0 });
+            }
+        }
+        if let Some(at) = drain {
+            let n = &mut self.nodes[node.0 as usize];
+            if n.drain_wakeup.is_none_or(|w| at < w || w < t) {
+                n.drain_wakeup = Some(at);
+                self.events.push(at, Event::DrainOutgoing { node: node.0 });
+            }
+        }
+        if let Some(at) = pop {
+            self.push_pop_wakeup(t, node, at);
+        }
+    }
+
+    // ─────────────────────────── CPU stepping ────────────────────────────
+
+    fn cpu_step(&mut self, t: SimTime, node: NodeId) {
+        let decision = {
+            let n = &mut self.nodes[node.0 as usize];
+            if t < n.cpu_busy_until {
+                return; // stale event
+            }
+            n.sched.tick(t)
+        };
+        let pid = match decision {
+            SchedDecision::Run { pid, .. } => pid,
+            SchedDecision::Idle => return,
+        };
+        {
+            let n = &mut self.nodes[node.0 as usize];
+            if n.running != Some(pid) {
+                // Dispatching onto an idle CPU is free (nothing to save);
+                // switching between processes costs a full context switch
+                // with a TLB flush.
+                let from_other = n.running.is_some();
+                n.tlb.flush();
+                n.running = Some(pid);
+                if from_other {
+                    let resume = t + self.config.context_switch_cost;
+                    n.cpu_busy_until = resume;
+                    // The incoming process's quantum starts once the
+                    // switch completes.
+                    n.sched.restart_quantum(resume);
+                    self.events.push(resume, Event::CpuStep { node: node.0 });
+                    return;
+                }
+            }
+        }
+
+        let Some(mut cpu) = self.nodes[node.0 as usize].cpus.remove(&pid) else {
+            // No program loaded: drop from the scheduler.
+            self.nodes[node.0 as usize].sched.remove(pid);
+            return;
+        };
+        let result = {
+            let n = &mut self.nodes[node.0 as usize];
+            let pages_per_node = self.config.pages_per_node;
+            let walk_latency = SimDuration::from_ns(100);
+            let Some(proc) = n.kernel.process(pid) else {
+                n.sched.remove(pid);
+                n.cpus.insert(pid, cpu);
+                return;
+            };
+            let mut bus = NodeBusView {
+                pt: proc.page_table(),
+                tlb: &mut n.tlb,
+                cache: &mut n.cache,
+                xpress: &mut n.xpress,
+                mem: &mut n.mem,
+                nic: &mut n.nic,
+                walk_latency,
+                pages_per_node,
+            };
+            cpu.step(t, &mut bus)
+        };
+        let halted = cpu.is_halted();
+        self.nodes[node.0 as usize].cpus.insert(pid, cpu);
+
+        match result {
+            StepResult::Ran { completes_at } => {
+                let n = &mut self.nodes[node.0 as usize];
+                n.cpu_busy_until = completes_at;
+                self.events.push(completes_at, Event::CpuStep { node: node.0 });
+            }
+            StepResult::Halted => {
+                let n = &mut self.nodes[node.0 as usize];
+                n.sched.remove(pid);
+                n.running = None;
+                if halted {
+                    // Another process may be runnable.
+                    self.events.push(t, Event::CpuStep { node: node.0 });
+                }
+            }
+            StepResult::Blocked => {
+                // Outgoing FIFO over threshold: the CPU waits for drain.
+                let retry = {
+                    let n = &self.nodes[node.0 as usize];
+                    n.nic
+                        .outgoing_ready_at()
+                        .map_or(t + SimDuration::from_ns(100), |r| r.max(t) + SimDuration::from_ns(10))
+                };
+                self.events.push(retry, Event::CpuStep { node: node.0 });
+            }
+            StepResult::Syscall { code, completes_at } => {
+                self.syscall_log.push((t, node, pid, code));
+                let n = &mut self.nodes[node.0 as usize];
+                if code == 0 {
+                    // exit()
+                    n.sched.remove(pid);
+                    n.running = None;
+                    if let Some(c) = n.cpus.get_mut(&pid) {
+                        c.set_pc(usize::MAX - 1);
+                    }
+                    self.events.push(t, Event::CpuStep { node: node.0 });
+                } else {
+                    let resume = completes_at + self.config.fault_cost;
+                    n.cpu_busy_until = resume;
+                    self.events.push(resume, Event::CpuStep { node: node.0 });
+                }
+            }
+            StepResult::Fault { error } => self.handle_fault(t, node, pid, error),
+        }
+        self.schedule_node_wakeups(t, node);
+    }
+
+    fn handle_fault(&mut self, t: SimTime, node: NodeId, pid: Pid, error: MemError) {
+        if let MemError::ProtectionViolation { addr, write: true } = error {
+            if let Ok(rec) = self.nodes[node.0 as usize].kernel.handle_write_fault(pid, addr) {
+                // Re-establish the invalidated mapping (§4.4): re-run
+                // the receiver grant for the covered pages and rewrite
+                // the NIPT segments, then resume the faulting store.
+                let ok = self.reestablish(node, pid, rec);
+                let cost = self.config.fault_cost
+                    + self.config.kernel_msg_latency * 2
+                    + self.config.map_syscall_cost / 4;
+                if ok {
+                    let resume = t + cost;
+                    let n = &mut self.nodes[node.0 as usize];
+                    n.cpu_busy_until = resume;
+                    self.events.push(resume, Event::CpuStep { node: node.0 });
+                    self.flush_tlb(node);
+                    return;
+                }
+            }
+        }
+        // Unserviceable fault: the process is killed.
+        let n = &mut self.nodes[node.0 as usize];
+        n.sched.remove(pid);
+        n.running = None;
+        self.syscall_log.push((t, node, pid, u32::MAX));
+        self.events.push(t, Event::CpuStep { node: node.0 });
+    }
+
+    fn reestablish(&mut self, node: NodeId, pid: Pid, rec: OutgoingRecord) -> bool {
+        let Some(reg) = self
+            .registrations
+            .iter()
+            .find(|r| {
+                r.req.src_node == node
+                    && r.req.src_pid == pid
+                    && r.req.src_va.page().raw() <= rec.vpn.raw()
+                    && rec.vpn.raw()
+                        <= r.req.src_va.add(r.req.len - 1).page().raw()
+            })
+            .cloned()
+        else {
+            return false;
+        };
+        let req = reg.req;
+        // Which destination pages does this source page touch?
+        let page_rel = rec.vpn.raw() - req.src_va.page().raw();
+        let first_byte = (page_rel * PAGE_SIZE).saturating_sub(req.src_va.offset());
+        let last_byte = ((page_rel + 1) * PAGE_SIZE - 1 - req.src_va.offset()).min(req.len - 1);
+        let first_dst_page = (req.dst_offset + first_byte) / PAGE_SIZE;
+        let last_dst_page = (req.dst_offset + last_byte) / PAGE_SIZE;
+
+        // Receiver side: page the buffer back in and re-grant.
+        {
+            let dst_kernel = &mut self.nodes[req.dst_node.0 as usize].kernel;
+            let Some(export) = dst_kernel.export(req.export).copied() else {
+                return false;
+            };
+            for p in first_dst_page..=last_dst_page {
+                let vpn = shrimp_mem::VirtPageNum::new(export.vpn.raw() + p);
+                if dst_kernel.ensure_mapped(export.pid, vpn).is_err() {
+                    return false;
+                }
+            }
+        }
+        let token = match self.nodes[req.dst_node.0 as usize].kernel.grant_in_mapping(
+            req.export,
+            req.src_node,
+            first_dst_page,
+            last_dst_page - first_dst_page + 1,
+        ) {
+            Ok(tok) => tok,
+            Err(_) => return false,
+        };
+        for &frame in &token.frames {
+            if self.nodes[req.dst_node.0 as usize]
+                .nic
+                .nipt_mut()
+                .set_mapped_in(frame, true)
+                .is_err()
+            {
+                return false;
+            }
+        }
+        // Rewrite the segments covering this source page.
+        let mut pos = first_byte;
+        while pos <= last_byte {
+            let src_byte = req.src_va.add(pos);
+            let src_off = src_byte.offset();
+            let dst_byte = req.dst_offset + pos;
+            let dst_page = dst_byte / PAGE_SIZE;
+            let dst_off = dst_byte % PAGE_SIZE;
+            let frame = token.frames[(dst_page - first_dst_page) as usize];
+            let chunk = (PAGE_SIZE - src_off)
+                .min(PAGE_SIZE - dst_off)
+                .min(req.len - pos);
+            let seg = OutSegment {
+                src_start: src_off,
+                src_end: src_off + chunk,
+                dst_node: req.dst_node,
+                dst_base: frame.base().add(dst_off),
+                policy: req.policy,
+            };
+            if self.nodes[node.0 as usize]
+                .nic
+                .nipt_mut()
+                .set_out_segment(rec.src_frame, seg)
+                .is_err()
+            {
+                return false;
+            }
+            pos += chunk;
+        }
+        true
+    }
+
+    fn flush_tlb(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].tlb.flush();
+    }
+
+    // ─────────────────── host store path (poke / msglib) ─────────────────
+
+    fn store_through(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        t: SimTime,
+        va: VirtAddr,
+        value: u32,
+    ) -> Result<SimTime, MachineError> {
+        let n = &mut self.nodes[node.0 as usize];
+        let pages_per_node = self.config.pages_per_node;
+        let proc = n
+            .kernel
+            .process(pid)
+            .ok_or(MachineError::Os(OsError::NoSuchProcess(pid)))?;
+        let mut bus = NodeBusView {
+            pt: proc.page_table(),
+            tlb: &mut n.tlb,
+            cache: &mut n.cache,
+            xpress: &mut n.xpress,
+            mem: &mut n.mem,
+            nic: &mut n.nic,
+            walk_latency: SimDuration::from_ns(100),
+            pages_per_node,
+        };
+        let done = bus.store_word(t, va, value)?;
+        self.schedule_node_wakeups(t, node);
+        Ok(done)
+    }
+
+    // ───────────────────────── instrumentation ───────────────────────────
+
+    /// NIC counters of one node.
+    pub fn nic_stats(&self, node: NodeId) -> shrimp_nic::nic::NicStats {
+        self.node(node).nic.stats()
+    }
+
+    /// The network interface of a node (read-only inspection).
+    pub fn nic(&self, node: NodeId) -> &NetworkInterface {
+        &self.node(node).nic
+    }
+
+    /// Mesh statistics.
+    pub fn mesh_stats(&self) -> &shrimp_mesh::NetworkStats {
+        self.mesh.stats()
+    }
+
+    /// The kernel of a node (protocol state inspection).
+    pub fn kernel(&self, node: NodeId) -> &Kernel {
+        &self.node(node).kernel
+    }
+
+    /// All recorded memory arrivals (latency experiments).
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.delivery_log
+    }
+
+    /// All raised NIC interrupts.
+    pub fn interrupts(&self) -> &[(SimTime, NodeId, NicInterrupt)] {
+        &self.interrupt_log
+    }
+
+    /// All syscall traps (`u32::MAX` marks a killed process).
+    pub fn syscalls(&self) -> &[(SimTime, NodeId, Pid, u32)] {
+        &self.syscall_log
+    }
+
+    /// All dropped packets (CRC errors, misroutes, unmapped pages).
+    pub fn drops(&self) -> &[(SimTime, NodeId, NicError)] {
+        &self.drop_log
+    }
+
+    /// Bytes delivered to `node`'s memory and the EISA achieved rate over
+    /// the run so far.
+    pub fn eisa_stats(&self, node: NodeId) -> (u64, f64) {
+        let n = self.node(node);
+        (n.eisa.bytes_total(), n.eisa.achieved_rate(self.now))
+    }
+
+    /// Clears the delivery log (between experiment phases).
+    pub fn clear_deliveries(&mut self) {
+        self.delivery_log.clear();
+    }
+}
+
+// ───────────────────────────── the bus view ─────────────────────────────
+
+/// The CPU's window onto one node's memory system: page-table
+/// translation with a TLB, the snooping cache, the Xpress bus (with NIC
+/// snooping of write-through stores), and command-page decoding.
+struct NodeBusView<'a> {
+    pt: &'a shrimp_mem::PageTable,
+    tlb: &'a mut Tlb,
+    cache: &'a mut CacheModel,
+    xpress: &'a mut XpressBus,
+    mem: &'a mut PhysicalMemory,
+    nic: &'a mut NetworkInterface,
+    walk_latency: SimDuration,
+    pages_per_node: u64,
+}
+
+impl NodeBusView<'_> {
+    fn translate(
+        &mut self,
+        now: SimTime,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<(PhysAddr, CacheMode, SimTime), MemError> {
+        let vpn = va.page();
+        if let Some((frame, flags)) = self.tlb.lookup(vpn) {
+            if write && !flags.protection.allows_write() {
+                return Err(MemError::ProtectionViolation { addr: va, write });
+            }
+            return Ok((frame.at_offset(va.offset()), flags.cache_mode, now));
+        }
+        let tr = if write {
+            self.pt.translate_write(va)?
+        } else {
+            self.pt.translate_read(va)?
+        };
+        self.tlb.insert(vpn, tr.frame, tr.flags);
+        Ok((tr.phys, tr.flags.cache_mode, now + self.walk_latency))
+    }
+
+    fn is_command(&self, phys: PhysAddr) -> bool {
+        phys.page().raw() >= self.pages_per_node
+    }
+}
+
+impl MemoryBus for NodeBusView<'_> {
+    fn load_word(&mut self, now: SimTime, addr: VirtAddr) -> Result<(u32, SimTime), MemError> {
+        let (phys, _mode, t) = self.translate(now, addr, false)?;
+        if self.is_command(phys) {
+            // Command reads are uncached I/O reads over the bus.
+            let txn = self
+                .xpress
+                .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+            let v = self.nic.command_read(txn.grant.end, phys);
+            return Ok((v, txn.grant.end));
+        }
+        let outcome = self.cache.load(phys);
+        if outcome.bus_access {
+            if let Some(victim) = outcome.writeback {
+                self.xpress.write(
+                    t,
+                    victim,
+                    self.cache.config().line_size,
+                    shrimp_mem::BusInitiator::Cpu,
+                );
+            }
+            let txn = self.xpress.read(
+                t,
+                phys,
+                self.cache.config().line_size,
+                shrimp_mem::BusInitiator::Cpu,
+            );
+            let v = self.mem.read_word(phys)?;
+            return Ok((v, txn.grant.end));
+        }
+        let v = self.mem.read_word(phys)?;
+        Ok((v, t))
+    }
+
+    fn store_word(&mut self, now: SimTime, addr: VirtAddr, value: u32) -> Result<SimTime, MemError> {
+        let (phys, mode, t) = self.translate(now, addr, true)?;
+        if self.is_command(phys) {
+            let txn = self
+                .xpress
+                .write(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+            let end = txn.grant.end;
+            // A plain store to a command page issues the encoded command.
+            // mem_read services deliberate-update DMA reads.
+            let mem = &mut *self.mem;
+            let xpress = &mut *self.xpress;
+            let _ = self.nic.command_write(end, phys, value, |src, len| {
+                let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
+                let data = mem.read_bytes(src, len).unwrap_or_else(|_| vec![0; len as usize]);
+                (data, txn.grant.end)
+            });
+            return Ok(end);
+        }
+        let outcome = self.cache.store(phys, mode);
+        let mut end = t;
+        if let Some(victim) = outcome.writeback {
+            self.xpress.write(
+                t,
+                victim,
+                self.cache.config().line_size,
+                shrimp_mem::BusInitiator::Cpu,
+            );
+        }
+        if outcome.bus_access {
+            let txn = self
+                .xpress
+                .write(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+            end = txn.grant.end;
+            if mode == CacheMode::WriteThrough {
+                // The NIC snoops the write off the bus (paper §3.1).
+                self.nic.snoop_write(end, phys, &value.to_le_bytes());
+            }
+        }
+        self.mem.write_word(phys, value)?;
+        Ok(end)
+    }
+
+    fn cmpxchg_word(
+        &mut self,
+        now: SimTime,
+        addr: VirtAddr,
+        expected: u32,
+        new: u32,
+    ) -> Result<(u32, SimTime), MemError> {
+        let (phys, mode, t) = self.translate(now, addr, true)?;
+        if self.is_command(phys) {
+            // The §4.3 protocol: the read cycle returns the DMA status;
+            // if it matches, the write cycle starts the transfer.
+            let txn = self
+                .xpress
+                .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+            let status = self.nic.command_read(txn.grant.end, phys);
+            let mut end = txn.grant.end;
+            if status == expected {
+                let wtxn = self
+                    .xpress
+                    .write(end, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+                end = wtxn.grant.end;
+                let mem = &mut *self.mem;
+                let xpress = &mut *self.xpress;
+                let _ = self.nic.command_write(end, phys, new, |src, len| {
+                    let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
+                    let data = mem
+                        .read_bytes(src, len)
+                        .unwrap_or_else(|_| vec![0; len as usize]);
+                    (data, txn.grant.end)
+                });
+            }
+            return Ok((status, end));
+        }
+        // A locked data-memory CMPXCHG: one atomic read-(maybe-)write
+        // bus transaction.
+        let txn = self
+            .xpress
+            .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+        let old = self.mem.read_word(phys)?;
+        let mut end = txn.grant.end;
+        if old == expected {
+            let wtxn = self
+                .xpress
+                .write(end, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
+            end = wtxn.grant.end;
+            self.mem.write_word(phys, new)?;
+            let _ = self.cache.store(phys, mode);
+            if mode == CacheMode::WriteThrough {
+                self.nic.snoop_write(end, phys, &new.to_le_bytes());
+            }
+        }
+        Ok((old, end))
+    }
+
+    fn store_allowed(&self, _now: SimTime) -> bool {
+        !self.nic.cpu_must_stall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_cpu::Assembler;
+    use shrimp_mesh::MeshShape;
+
+    fn two_node() -> (Machine, Pid, Pid) {
+        let mut m = Machine::new(MachineConfig::two_nodes());
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(1));
+        (m, s, r)
+    }
+
+    fn simple_map(m: &mut Machine, s: Pid, r: Pid, policy: UpdatePolicy) -> (VirtAddr, VirtAddr) {
+        let src = m.alloc_pages(NodeId(0), s, 1).unwrap();
+        let dst = m.alloc_pages(NodeId(1), r, 1).unwrap();
+        let export = m.export_buffer(NodeId(1), r, dst, 1, None).unwrap();
+        m.map(MapRequest {
+            src_node: NodeId(0),
+            src_pid: s,
+            src_va: src,
+            dst_node: NodeId(1),
+            export,
+            dst_offset: 0,
+            len: PAGE_SIZE,
+            policy,
+        })
+        .unwrap();
+        (src, dst)
+    }
+
+    #[test]
+    fn map_charges_syscall_time() {
+        let (mut m, s, r) = two_node();
+        let before = m.now();
+        simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        assert!(m.now().since(before) >= m.config().map_syscall_cost);
+    }
+
+    #[test]
+    fn empty_mapping_rejected() {
+        let (mut m, s, r) = two_node();
+        let src = m.alloc_pages(NodeId(0), s, 1).unwrap();
+        let dst = m.alloc_pages(NodeId(1), r, 1).unwrap();
+        let export = m.export_buffer(NodeId(1), r, dst, 1, None).unwrap();
+        let err = m
+            .map(MapRequest {
+                src_node: NodeId(0),
+                src_pid: s,
+                src_va: src,
+                dst_node: NodeId(1),
+                export,
+                dst_offset: 0,
+                len: 0,
+                policy: UpdatePolicy::AutomaticSingle,
+            })
+            .unwrap_err();
+        assert_eq!(err, MachineError::EmptyMapping);
+    }
+
+    #[test]
+    fn poke_to_unmapped_page_errors() {
+        let (mut m, s, _) = two_node();
+        let err = m
+            .poke(NodeId(0), s, VirtAddr::new(0), &[0u8; 4])
+            .unwrap_err();
+        assert!(matches!(err, MachineError::Mem(MemError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn deliveries_record_source_and_size() {
+        let (mut m, s, r) = two_node();
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        m.poke(NodeId(0), s, src, &[1u8; 8]).unwrap();
+        m.run_until_idle().unwrap();
+        let ds = m.deliveries();
+        assert_eq!(ds.len(), 2, "two word stores, two packets");
+        for d in ds {
+            assert_eq!(d.node, NodeId(1));
+            assert_eq!(d.src, NodeId(0));
+            assert_eq!(d.len, 4);
+        }
+        m.clear_deliveries();
+        assert!(m.deliveries().is_empty());
+    }
+
+    #[test]
+    fn syscall_zero_exits_the_process() {
+        let (mut m, s, _) = two_node();
+        let mut asm = Assembler::new();
+        asm.li(Reg::R1, 5).syscall(0).li(Reg::R1, 99).halt();
+        m.load_program(NodeId(0), s, asm.assemble().unwrap());
+        m.start(NodeId(0), s);
+        m.run_until_idle().unwrap();
+        // The process exited at the syscall: R1 never became 99.
+        assert_eq!(m.cpu(NodeId(0), s).unwrap().reg(Reg::R1), 5);
+        assert!(m
+            .syscalls()
+            .iter()
+            .any(|&(_, n, p, c)| n == NodeId(0) && p == s && c == 0));
+    }
+
+    #[test]
+    fn unknown_syscall_costs_a_trap_and_continues() {
+        let (mut m, s, _) = two_node();
+        let mut asm = Assembler::new();
+        asm.syscall(9).li(Reg::R1, 7).halt();
+        m.load_program(NodeId(0), s, asm.assemble().unwrap());
+        m.start(NodeId(0), s);
+        m.run_until_idle().unwrap();
+        assert_eq!(m.cpu(NodeId(0), s).unwrap().reg(Reg::R1), 7);
+    }
+
+    #[test]
+    fn two_processes_share_one_cpu_round_robin() {
+        let mut m = Machine::new(MachineConfig::two_nodes());
+        let a = m.create_process(NodeId(0));
+        let b = m.create_process(NodeId(0));
+        let prog = |v: u32| {
+            let mut asm = Assembler::new();
+            asm.li(Reg::R1, v).halt();
+            asm.assemble().unwrap()
+        };
+        m.load_program(NodeId(0), a, prog(1));
+        m.load_program(NodeId(0), b, prog(2));
+        m.start(NodeId(0), a);
+        m.start(NodeId(0), b);
+        m.run_until_idle().unwrap();
+        assert!(m.cpu(NodeId(0), a).unwrap().is_halted());
+        assert!(m.cpu(NodeId(0), b).unwrap().is_halted());
+        assert_eq!(m.cpu(NodeId(0), a).unwrap().reg(Reg::R1), 1);
+        assert_eq!(m.cpu(NodeId(0), b).unwrap().reg(Reg::R1), 2);
+    }
+
+    #[test]
+    fn genuine_protection_violation_kills_process() {
+        let (mut m, s, r) = two_node();
+        let (_, dst) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        let _ = dst;
+        // A store to an unmapped address faults; the kernel has no
+        // invalidation record, so the process dies.
+        let mut asm = Assembler::new();
+        asm.li(Reg::R5, 0).store(Reg::R5, Reg::R5, 0).li(Reg::R1, 1).halt();
+        m.load_program(NodeId(0), s, asm.assemble().unwrap());
+        m.start(NodeId(0), s);
+        m.run_until_idle().unwrap();
+        assert_eq!(m.cpu(NodeId(0), s).unwrap().reg(Reg::R1), 0, "never resumed");
+        assert!(m
+            .syscalls()
+            .iter()
+            .any(|&(_, _, p, c)| p == s && c == u32::MAX), "kill recorded");
+    }
+
+    #[test]
+    fn command_page_maps_at_fixed_distance() {
+        let (mut m, s, r) = two_node();
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::Deliberate);
+        let cmd = m.map_command_page(NodeId(0), s, src).unwrap();
+        assert_eq!(cmd.offset(), 0);
+        assert_ne!(cmd.page(), src.page());
+        // A second data page gets a distinct command page.
+        let src2 = m.alloc_pages(NodeId(0), s, 1).unwrap();
+        let cmd2 = m.map_command_page(NodeId(0), s, src2).unwrap();
+        assert_ne!(cmd, cmd2);
+    }
+
+    #[test]
+    fn eisa_stats_accumulate() {
+        let (mut m, s, r) = two_node();
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        m.poke(NodeId(0), s, src, &[9u8; 64]).unwrap();
+        m.run_until_idle().unwrap();
+        let (bytes, rate) = m.eisa_stats(NodeId(1));
+        assert_eq!(bytes, 64);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn run_until_pred_times_out() {
+        let (mut m, _, _) = two_node();
+        let held = m.run_until_pred(m.now() + SimDuration::from_us(1), |_| false);
+        assert!(!held);
+    }
+
+    #[test]
+    fn larger_mesh_builds_and_runs() {
+        let mut m = Machine::new(MachineConfig::prototype(MeshShape::new(8, 8)));
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(63));
+        let src = m.alloc_pages(NodeId(0), s, 1).unwrap();
+        let dst = m.alloc_pages(NodeId(63), r, 1).unwrap();
+        let export = m.export_buffer(NodeId(63), r, dst, 1, None).unwrap();
+        m.map(MapRequest {
+            src_node: NodeId(0),
+            src_pid: s,
+            src_va: src,
+            dst_node: NodeId(63),
+            export,
+            dst_offset: 0,
+            len: PAGE_SIZE,
+            policy: UpdatePolicy::AutomaticSingle,
+        })
+        .unwrap();
+        m.poke(NodeId(0), s, src, &0xabcd_1234u32.to_le_bytes()).unwrap();
+        m.run_until_idle().unwrap();
+        assert_eq!(
+            m.peek(NodeId(63), r, dst, 4).unwrap(),
+            0xabcd_1234u32.to_le_bytes()
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! FIFO message queues emulated over memory mappings.
+//!
+//! The paper's conclusion (§7) argues that the memory-mapped
+//! communication model subsumes FIFO-based interfaces: "FIFOs can easily
+//! be emulated using memory mappings". [`MappedQueue`] is that
+//! emulation, reusable at the host level: a ring of slots in receiver
+//! memory fed by an automatic-update mapping, with the consumed counter
+//! flowing back through a 4-byte reverse mapping — all data movement is
+//! ordinary stores, no kernel is involved after `establish`.
+
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_mesh::NodeId;
+use shrimp_nic::UpdatePolicy;
+use shrimp_os::Pid;
+
+use crate::error::MachineError;
+use crate::machine::{Machine, MapRequest};
+
+/// Per-slot header: payload length then a nonzero sequence/valid word.
+const HDR_LEN: u64 = 0;
+const HDR_SEQ: u64 = 4;
+const HDR_SIZE: u64 = 8;
+
+/// A one-way FIFO queue from a sending process to a receiving process,
+/// emulated over virtual memory mappings (paper §7).
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_core::{Machine, MachineConfig};
+/// use shrimp_core::mqueue::MappedQueue;
+/// use shrimp_mesh::NodeId;
+///
+/// let mut m = Machine::new(MachineConfig::two_nodes());
+/// let s = m.create_process(NodeId(0));
+/// let r = m.create_process(NodeId(1));
+/// let q = MappedQueue::establish(&mut m, (NodeId(0), s), (NodeId(1), r), 4, 256)?;
+/// assert!(q.send(&mut m, b"ping")?);
+/// m.run_until_idle()?;
+/// assert_eq!(q.recv(&mut m)?, Some(b"ping".to_vec()));
+/// # Ok::<(), shrimp_core::MachineError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MappedQueue {
+    src_node: NodeId,
+    src_pid: Pid,
+    dst_node: NodeId,
+    dst_pid: Pid,
+    /// Sender-side image of the ring (stores propagate to the receiver).
+    src_ring: VirtAddr,
+    /// Receiver-side ring.
+    dst_ring: VirtAddr,
+    /// Sender state page: tail@0, consumed@4 (written remotely).
+    src_state: VirtAddr,
+    /// Receiver state page: head@0, consumed-out@8 (mapped back).
+    dst_state: VirtAddr,
+    slots: u32,
+    slot_bytes: u32,
+}
+
+impl MappedQueue {
+    /// Builds the ring and both mappings. `slots` must be a power of two;
+    /// `slot_bytes` must be a multiple of 4 with room for the 8-byte
+    /// header, and the whole ring must fit the page budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/mapping failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry.
+    pub fn establish(
+        m: &mut Machine,
+        src: (NodeId, Pid),
+        dst: (NodeId, Pid),
+        slots: u32,
+        slot_bytes: u32,
+    ) -> Result<MappedQueue, MachineError> {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        assert!(slot_bytes.is_multiple_of(4) && slot_bytes as u64 > HDR_SIZE, "bad slot size");
+        let ring_bytes = slots as u64 * slot_bytes as u64;
+        let ring_pages = ring_bytes.div_ceil(PAGE_SIZE);
+
+        let src_ring = m.alloc_pages(src.0, src.1, ring_pages)?;
+        let dst_ring = m.alloc_pages(dst.0, dst.1, ring_pages)?;
+        let src_state = m.alloc_pages(src.0, src.1, 1)?;
+        let dst_state = m.alloc_pages(dst.0, dst.1, 1)?;
+
+        let ring_export = m.export_buffer(dst.0, dst.1, dst_ring, ring_pages, Some(src.0))?;
+        m.map(MapRequest {
+            src_node: src.0,
+            src_pid: src.1,
+            src_va: src_ring,
+            dst_node: dst.0,
+            export: ring_export,
+            dst_offset: 0,
+            len: ring_bytes,
+            policy: UpdatePolicy::AutomaticBlocked,
+        })?;
+
+        let back_export = m.export_buffer(src.0, src.1, src_state, 1, Some(dst.0))?;
+        // Receiver's consumed-out word (state+8) lands at sender state+4.
+        m.map(MapRequest {
+            src_node: dst.0,
+            src_pid: dst.1,
+            src_va: dst_state.add(8),
+            dst_node: src.0,
+            export: back_export,
+            dst_offset: 4,
+            len: 4,
+            policy: UpdatePolicy::AutomaticSingle,
+        })?;
+
+        Ok(MappedQueue {
+            src_node: src.0,
+            src_pid: src.1,
+            dst_node: dst.0,
+            dst_pid: dst.1,
+            src_ring,
+            dst_ring,
+            src_state,
+            dst_state,
+            slots,
+            slot_bytes,
+        })
+    }
+
+    /// Payload capacity of one slot.
+    pub fn max_payload(&self) -> u64 {
+        self.slot_bytes as u64 - HDR_SIZE
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    fn word(m: &Machine, node: NodeId, pid: Pid, va: VirtAddr) -> Result<u32, MachineError> {
+        Ok(u32::from_le_bytes(
+            m.peek(node, pid, va, 4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn slot_addr(&self, base: VirtAddr, index: u32) -> VirtAddr {
+        base.add((index & (self.slots - 1)) as u64 * self.slot_bytes as u64)
+    }
+
+    /// Messages accepted but not yet consumed (from the sender's view).
+    pub fn in_flight(&self, m: &Machine) -> Result<u32, MachineError> {
+        let tail = Self::word(m, self.src_node, self.src_pid, self.src_state)?;
+        let consumed = Self::word(m, self.src_node, self.src_pid, self.src_state.add(4))?;
+        Ok(tail - consumed)
+    }
+
+    /// Enqueues one message with ordinary stores. Returns `false` without
+    /// side effects when the ring is full (the caller retries after
+    /// running the machine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MappedQueue::max_payload`] or is
+    /// not a whole number of words.
+    pub fn send(&self, m: &mut Machine, payload: &[u8]) -> Result<bool, MachineError> {
+        assert!(payload.len() as u64 <= self.max_payload(), "payload too large");
+        assert_eq!(payload.len() % 4, 0, "payload must be whole words");
+        if self.in_flight(m)? >= self.slots {
+            return Ok(false);
+        }
+        let tail = Self::word(m, self.src_node, self.src_pid, self.src_state)?;
+        let slot = self.slot_addr(self.src_ring, tail);
+        // Payload first, then length, then the nonzero seq word last: the
+        // per-sender ordering guarantee makes seq a release.
+        m.poke(self.src_node, self.src_pid, slot.add(HDR_SIZE), payload)?;
+        m.poke(
+            self.src_node,
+            self.src_pid,
+            slot.add(HDR_LEN),
+            &(payload.len() as u32).to_le_bytes(),
+        )?;
+        m.poke(
+            self.src_node,
+            self.src_pid,
+            slot.add(HDR_SEQ),
+            &(tail + 1).to_le_bytes(),
+        )?;
+        m.poke(
+            self.src_node,
+            self.src_pid,
+            self.src_state,
+            &(tail + 1).to_le_bytes(),
+        )?;
+        Ok(true)
+    }
+
+    /// Dequeues the next message if one has fully arrived, acknowledging
+    /// it back to the sender through the reverse mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn recv(&self, m: &mut Machine) -> Result<Option<Vec<u8>>, MachineError> {
+        let head = Self::word(m, self.dst_node, self.dst_pid, self.dst_state)?;
+        let slot = self.slot_addr(self.dst_ring, head);
+        let seq = Self::word(m, self.dst_node, self.dst_pid, slot.add(HDR_SEQ))?;
+        if seq != head + 1 {
+            return Ok(None); // not yet arrived (or stale)
+        }
+        let len = Self::word(m, self.dst_node, self.dst_pid, slot.add(HDR_LEN))? as u64;
+        if len > self.max_payload() {
+            return Ok(None); // length word not yet arrived
+        }
+        let data = m.peek(self.dst_node, self.dst_pid, slot.add(HDR_SIZE), len)?;
+        // Consume: clear seq locally, advance head, publish consumed.
+        m.poke(self.dst_node, self.dst_pid, slot.add(HDR_SEQ), &0u32.to_le_bytes())?;
+        m.poke(
+            self.dst_node,
+            self.dst_pid,
+            self.dst_state,
+            &(head + 1).to_le_bytes(),
+        )?;
+        m.poke(
+            self.dst_node,
+            self.dst_pid,
+            self.dst_state.add(8),
+            &(head + 1).to_le_bytes(),
+        )?;
+        Ok(Some(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn setup(slots: u32, slot_bytes: u32) -> (Machine, MappedQueue) {
+        let mut m = Machine::new(MachineConfig::two_nodes());
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(1));
+        let q = MappedQueue::establish(&mut m, (NodeId(0), s), (NodeId(1), r), slots, slot_bytes)
+            .unwrap();
+        (m, q)
+    }
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (mut m, q) = setup(4, 64);
+        for i in 0..3u32 {
+            assert!(q.send(&mut m, &[i as u8; 8]).unwrap());
+        }
+        m.run_until_idle().unwrap();
+        for i in 0..3u32 {
+            let got = q.recv(&mut m).unwrap().expect("message arrived");
+            assert_eq!(got, vec![i as u8; 8]);
+        }
+        m.run_until_idle().unwrap();
+        assert_eq!(q.recv(&mut m).unwrap(), None, "queue drained");
+        assert_eq!(q.in_flight(&m).unwrap(), 0, "credits returned");
+    }
+
+    #[test]
+    fn ring_fills_and_recovers() {
+        let (mut m, q) = setup(2, 64);
+        assert!(q.send(&mut m, &[1; 4]).unwrap());
+        assert!(q.send(&mut m, &[2; 4]).unwrap());
+        // Full: refused without corruption.
+        assert!(!q.send(&mut m, &[3; 4]).unwrap());
+        m.run_until_idle().unwrap();
+        assert_eq!(q.recv(&mut m).unwrap().unwrap(), vec![1; 4]);
+        m.run_until_idle().unwrap();
+        // Credit returned: the third send now fits.
+        assert!(q.send(&mut m, &[3; 4]).unwrap());
+        m.run_until_idle().unwrap();
+        assert_eq!(q.recv(&mut m).unwrap().unwrap(), vec![2; 4]);
+        assert_eq!(q.recv(&mut m).unwrap().unwrap(), vec![3; 4]);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut m, q) = setup(4, 64);
+        for round in 0..5u32 {
+            for i in 0..4u32 {
+                let tag = (round * 4 + i) as u8;
+                assert!(q.send(&mut m, &[tag; 12]).unwrap());
+            }
+            m.run_until_idle().unwrap();
+            for i in 0..4u32 {
+                let tag = (round * 4 + i) as u8;
+                assert_eq!(q.recv(&mut m).unwrap().unwrap(), vec![tag; 12]);
+            }
+            m.run_until_idle().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let (mut m, q) = setup(4, 64);
+        assert_eq!(q.recv(&mut m).unwrap(), None);
+        assert_eq!(q.max_payload(), 56);
+        assert_eq!(q.slots(), 4);
+    }
+
+    #[test]
+    fn variable_length_messages() {
+        let (mut m, q) = setup(4, 256);
+        q.send(&mut m, &[7; 4]).unwrap();
+        q.send(&mut m, &[8; 200]).unwrap();
+        q.send(&mut m, &[]).unwrap();
+        m.run_until_idle().unwrap();
+        assert_eq!(q.recv(&mut m).unwrap().unwrap().len(), 4);
+        assert_eq!(q.recv(&mut m).unwrap().unwrap().len(), 200);
+        assert_eq!(q.recv(&mut m).unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_slot_count_rejected() {
+        let mut m = Machine::new(MachineConfig::two_nodes());
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(1));
+        let _ = MappedQueue::establish(&mut m, (NodeId(0), s), (NodeId(1), r), 3, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversized_payload_rejected() {
+        let (mut m, q) = setup(2, 64);
+        let _ = q.send(&mut m, &[0; 60]);
+    }
+}

@@ -1,0 +1,261 @@
+//! PRAM-consistency shared memory (paper §4.1).
+//!
+//! Two processes on different nodes share memory by creating
+//! *complementary* automatic-update mappings: each keeps a local copy,
+//! and every local store is propagated to the remote copy. There is no
+//! global consistency mechanism — the hardware only guarantees that
+//! updates from one sender arrive in order (PRAM consistency) — so
+//! applications layer their own protocols on top, like the flag
+//! handshake in [`SharedPair::write_with_flag`].
+
+use shrimp_mem::{VirtAddr, PAGE_SIZE};
+use shrimp_mesh::NodeId;
+use shrimp_nic::UpdatePolicy;
+use shrimp_os::Pid;
+
+use crate::error::MachineError;
+use crate::machine::{Machine, MapRequest};
+
+/// A pairwise-shared memory region backed by complementary
+/// automatic-update mappings.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_core::{Machine, MachineConfig};
+/// use shrimp_core::pram::SharedPair;
+/// use shrimp_mesh::NodeId;
+///
+/// let mut m = Machine::new(MachineConfig::two_nodes());
+/// let a = m.create_process(NodeId(0));
+/// let b = m.create_process(NodeId(1));
+/// let shared = SharedPair::establish(&mut m, (NodeId(0), a), (NodeId(1), b), 1)?;
+/// shared.write_a(&mut m, 0, &7u32.to_le_bytes())?;
+/// m.run_until_idle()?;
+/// assert_eq!(shared.read_b(&m, 0, 4)?, 7u32.to_le_bytes());
+/// # Ok::<(), shrimp_core::MachineError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SharedPair {
+    a_node: NodeId,
+    a_pid: Pid,
+    a_va: VirtAddr,
+    b_node: NodeId,
+    b_pid: Pid,
+    b_va: VirtAddr,
+    len: u64,
+}
+
+impl SharedPair {
+    /// Allocates `pages` on both sides and wires the complementary
+    /// single-write automatic-update mappings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/mapping failures.
+    pub fn establish(
+        m: &mut Machine,
+        a: (NodeId, Pid),
+        b: (NodeId, Pid),
+        pages: u64,
+    ) -> Result<SharedPair, MachineError> {
+        let a_va = m.alloc_pages(a.0, a.1, pages)?;
+        let b_va = m.alloc_pages(b.0, b.1, pages)?;
+        let export_b = m.export_buffer(b.0, b.1, b_va, pages, Some(a.0))?;
+        let export_a = m.export_buffer(a.0, a.1, a_va, pages, Some(b.0))?;
+        let len = pages * PAGE_SIZE;
+        m.map(MapRequest {
+            src_node: a.0,
+            src_pid: a.1,
+            src_va: a_va,
+            dst_node: b.0,
+            export: export_b,
+            dst_offset: 0,
+            len,
+            policy: UpdatePolicy::AutomaticSingle,
+        })?;
+        m.map(MapRequest {
+            src_node: b.0,
+            src_pid: b.1,
+            src_va: b_va,
+            dst_node: a.0,
+            export: export_a,
+            dst_offset: 0,
+            len,
+            policy: UpdatePolicy::AutomaticSingle,
+        })?;
+        Ok(SharedPair {
+            a_node: a.0,
+            a_pid: a.1,
+            a_va,
+            b_node: b.0,
+            b_pid: b.1,
+            b_va,
+            len,
+        })
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for a zero-length region (never produced by `establish`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Side A's local base address.
+    pub fn a_base(&self) -> VirtAddr {
+        self.a_va
+    }
+
+    /// Side B's local base address.
+    pub fn b_base(&self) -> VirtAddr {
+        self.b_va
+    }
+
+    fn check(&self, offset: u64, len: u64) {
+        assert!(
+            offset + len <= self.len,
+            "access [{offset}, {}) outside shared region of {} bytes",
+            offset + len,
+            self.len
+        );
+    }
+
+    /// Side A stores into its copy; the update propagates to B.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn write_a(&self, m: &mut Machine, offset: u64, data: &[u8]) -> Result<(), MachineError> {
+        self.check(offset, data.len() as u64);
+        m.poke(self.a_node, self.a_pid, self.a_va.add(offset), data)
+    }
+
+    /// Side B stores into its copy; the update propagates to A.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn write_b(&self, m: &mut Machine, offset: u64, data: &[u8]) -> Result<(), MachineError> {
+        self.check(offset, data.len() as u64);
+        m.poke(self.b_node, self.b_pid, self.b_va.add(offset), data)
+    }
+
+    /// Reads side A's local copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn read_a(&self, m: &Machine, offset: u64, len: u64) -> Result<Vec<u8>, MachineError> {
+        self.check(offset, len);
+        m.peek(self.a_node, self.a_pid, self.a_va.add(offset), len)
+    }
+
+    /// Reads side B's local copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn read_b(&self, m: &Machine, offset: u64, len: u64) -> Result<Vec<u8>, MachineError> {
+        self.check(offset, len);
+        m.peek(self.b_node, self.b_pid, self.b_va.add(offset), len)
+    }
+
+    /// A release-style publication: writes `data` at `offset`, then a
+    /// nonzero flag word at `flag_offset`. Because the hardware delivers
+    /// one sender's updates in order (§4.1), the remote side observing
+    /// the flag is guaranteed to observe the data — the software
+    /// consistency protocol the paper describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors.
+    pub fn write_with_flag(
+        &self,
+        m: &mut Machine,
+        offset: u64,
+        data: &[u8],
+        flag_offset: u64,
+        flag_value: u32,
+    ) -> Result<(), MachineError> {
+        assert_ne!(flag_value, 0, "flag must be nonzero to be observable");
+        self.write_a(m, offset, data)?;
+        self.write_a(m, flag_offset, &flag_value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn setup() -> (Machine, SharedPair) {
+        let mut m = Machine::new(MachineConfig::two_nodes());
+        let a = m.create_process(NodeId(0));
+        let b = m.create_process(NodeId(1));
+        let pair = SharedPair::establish(&mut m, (NodeId(0), a), (NodeId(1), b), 1).unwrap();
+        (m, pair)
+    }
+
+    #[test]
+    fn updates_propagate_both_ways() {
+        let (mut m, pair) = setup();
+        pair.write_a(&mut m, 0, &0x1111_1111u32.to_le_bytes()).unwrap();
+        pair.write_b(&mut m, 4, &0x2222_2222u32.to_le_bytes()).unwrap();
+        m.run_until_idle().unwrap();
+        assert_eq!(pair.read_b(&m, 0, 4).unwrap(), 0x1111_1111u32.to_le_bytes());
+        assert_eq!(pair.read_a(&m, 4, 4).unwrap(), 0x2222_2222u32.to_le_bytes());
+        // Local copies also hold their own writes.
+        assert_eq!(pair.read_a(&m, 0, 4).unwrap(), 0x1111_1111u32.to_le_bytes());
+    }
+
+    #[test]
+    fn flag_release_orders_data() {
+        let (mut m, pair) = setup();
+        let data = [9u8; 64];
+        pair.write_with_flag(&mut m, 0, &data, 128, 1).unwrap();
+        m.run_until_idle().unwrap();
+        // Observing the flag on B implies the data is there.
+        assert_eq!(pair.read_b(&m, 128, 4).unwrap(), 1u32.to_le_bytes());
+        assert_eq!(pair.read_b(&m, 0, 64).unwrap(), data);
+    }
+
+    #[test]
+    fn copies_may_diverge_without_protocol() {
+        // PRAM consistency: concurrent writes to the same word leave the
+        // two copies with different values (each sees its own write last
+        // only if updates cross). The model must allow this without
+        // corrupting anything else.
+        let (mut m, pair) = setup();
+        pair.write_a(&mut m, 0, &1u32.to_le_bytes()).unwrap();
+        pair.write_b(&mut m, 0, &2u32.to_le_bytes()).unwrap();
+        m.run_until_idle().unwrap();
+        let a = pair.read_a(&m, 0, 4).unwrap();
+        let b = pair.read_b(&m, 0, 4).unwrap();
+        // Each copy holds the *other* side's update (it arrived after the
+        // local store).
+        assert_eq!(a, 2u32.to_le_bytes());
+        assert_eq!(b, 1u32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shared region")]
+    fn out_of_region_access_panics() {
+        let (mut m, pair) = setup();
+        pair.write_a(&mut m, PAGE_SIZE - 2, &[0; 4]).unwrap();
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let (_, pair) = setup();
+        assert_eq!(pair.len(), PAGE_SIZE);
+        assert!(!pair.is_empty());
+        // Addresses are per-process; both sides allocate from the same
+        // layout, so equality is expected and meaningless.
+        assert_eq!(pair.a_base().offset(), 0);
+        assert_eq!(pair.b_base().offset(), 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! A tiny assembler with labels.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::isa::{Instr, Reg};
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The program has no instructions.
+    Empty,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// An assembled, immutable program. Cheap to clone (shared storage) so
+/// every simulated CPU can hold its own handle.
+#[derive(Debug, Clone)]
+pub struct Program {
+    instrs: Arc<[Instr]>,
+    labels: Arc<HashMap<String, usize>>,
+}
+
+impl Program {
+    /// The instruction at `pc`, if in range.
+    pub fn fetch(&self, pc: usize) -> Option<Instr> {
+        self.instrs.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for a program with no instructions (never produced by
+    /// [`Assembler::assemble`]).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The pc a label resolves to.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// A branch target awaiting label resolution: an index into
+/// `Assembler::label_names`.
+#[derive(Debug, Clone, Copy)]
+struct PendingTarget(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Jmp,
+    Jz,
+    Jnz,
+    Jlt,
+    Jge,
+}
+
+/// Builds a [`Program`] with forward and backward label references.
+///
+/// All instruction-emitting methods return `&mut Self` for chaining.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_cpu::{Assembler, Reg};
+///
+/// // Spin until mem[r2] is non-zero.
+/// let mut asm = Assembler::new();
+/// asm.label("spin")
+///     .load(Reg::R1, Reg::R2, 0)
+///     .cmpi(Reg::R1, 0)
+///     .jz("spin")
+///     .halt();
+/// let program = asm.assemble()?;
+/// assert_eq!(program.len(), 4);
+/// assert_eq!(program.label("spin"), Some(0));
+/// # Ok::<(), shrimp_cpu::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    label_names: Vec<String>,
+    branches: Vec<(usize, BranchKind, PendingTarget)>,
+    duplicate: Option<String>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.instrs.len()).is_some() {
+            self.duplicate.get_or_insert_with(|| name.to_string());
+        }
+        self
+    }
+
+    fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn branch(&mut self, kind: BranchKind, label: &str) -> &mut Self {
+        let idx = self.label_names.len();
+        self.label_names.push(label.to_string());
+        self.branches
+            .push((self.instrs.len(), kind, PendingTarget(idx)));
+        // Placeholder; patched in assemble().
+        self.emit(Instr::Jmp { target: usize::MAX })
+    }
+
+    /// `rd <- imm`
+    pub fn li(&mut self, rd: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::Li { rd, imm })
+    }
+
+    /// `rd <- rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mov { rd, rs })
+    }
+
+    /// `rd <- mem32[base + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Load { rd, base, offset })
+    }
+
+    /// `mem32[base + offset] <- rs`
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Store { rs, base, offset })
+    }
+
+    /// `rd <- rd + rs`
+    pub fn add(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Add { rd, rs })
+    }
+
+    /// `rd <- rd + imm`
+    pub fn addi(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::Addi { rd, imm })
+    }
+
+    /// `rd <- rd - rs`
+    pub fn sub(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Sub { rd, rs })
+    }
+
+    /// `rd <- rd & rs`
+    pub fn and(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::And { rd, rs })
+    }
+
+    /// `rd <- rd | rs`
+    pub fn or(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Or { rd, rs })
+    }
+
+    /// `rd <- rd ^ rs`
+    pub fn xor(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Xor { rd, rs })
+    }
+
+    /// `rd <- rd << amount`
+    pub fn shl(&mut self, rd: Reg, amount: u8) -> &mut Self {
+        self.emit(Instr::Shl { rd, amount })
+    }
+
+    /// `rd <- rd >> amount`
+    pub fn shr(&mut self, rd: Reg, amount: u8) -> &mut Self {
+        self.emit(Instr::Shr { rd, amount })
+    }
+
+    /// Compare registers, setting flags.
+    pub fn cmp(&mut self, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Instr::Cmp { ra, rb })
+    }
+
+    /// Compare a register with an immediate, setting flags.
+    pub fn cmpi(&mut self, ra: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::Cmpi { ra, imm })
+    }
+
+    /// Compare `mem32[base + offset]` with an immediate (one i386
+    /// instruction), setting flags.
+    pub fn cmpmem(&mut self, base: Reg, offset: i32, imm: i32) -> &mut Self {
+        self.emit(Instr::CmpMem { base, offset, imm })
+    }
+
+    /// `mem32[base + offset] <- imm` (i386 `mov dword [mem], imm`).
+    pub fn stimm(&mut self, base: Reg, offset: i32, imm: u32) -> &mut Self {
+        self.emit(Instr::StImm { base, offset, imm })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.branch(BranchKind::Jmp, label)
+    }
+
+    /// Jump to `label` if the zero flag is set.
+    pub fn jz(&mut self, label: &str) -> &mut Self {
+        self.branch(BranchKind::Jz, label)
+    }
+
+    /// Jump to `label` if the zero flag is clear.
+    pub fn jnz(&mut self, label: &str) -> &mut Self {
+        self.branch(BranchKind::Jnz, label)
+    }
+
+    /// Jump to `label` if less-than.
+    pub fn jlt(&mut self, label: &str) -> &mut Self {
+        self.branch(BranchKind::Jlt, label)
+    }
+
+    /// Jump to `label` if greater-or-equal.
+    pub fn jge(&mut self, label: &str) -> &mut Self {
+        self.branch(BranchKind::Jge, label)
+    }
+
+    /// Locked compare-and-exchange against `mem32[base + offset]`.
+    pub fn cmpxchg(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Self {
+        self.emit(Instr::CmpXchg { base, offset, src })
+    }
+
+    /// Trap to the kernel.
+    pub fn syscall(&mut self, code: u32) -> &mut Self {
+        self.emit(Instr::Syscall { code })
+    }
+
+    /// Stop the processor.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Do nothing for one instruction.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// Current instruction count (useful for computing code offsets).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Resolves labels and produces the immutable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined/duplicate labels or an empty
+    /// program.
+    pub fn assemble(&mut self) -> Result<Program, AsmError> {
+        if let Some(dup) = &self.duplicate {
+            return Err(AsmError::DuplicateLabel(dup.clone()));
+        }
+        if self.instrs.is_empty() {
+            return Err(AsmError::Empty);
+        }
+        let mut instrs = self.instrs.clone();
+        for &(pc, kind, pending) in &self.branches {
+            let name = &self.label_names[pending.0];
+            let target = *self
+                .labels
+                .get(name)
+                .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+            instrs[pc] = match kind {
+                BranchKind::Jmp => Instr::Jmp { target },
+                BranchKind::Jz => Instr::Jz { target },
+                BranchKind::Jnz => Instr::Jnz { target },
+                BranchKind::Jlt => Instr::Jlt { target },
+                BranchKind::Jge => Instr::Jge { target },
+            };
+        }
+        Ok(Program {
+            instrs: instrs.into(),
+            labels: Arc::new(self.labels.clone()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        asm.label("top")
+            .li(Reg::R1, 1)
+            .jmp("end")
+            .jmp("top") // dead code exercising backward reference
+            .label("end")
+            .halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.label("top"), Some(0));
+        assert_eq!(p.label("end"), Some(3));
+        assert_eq!(p.fetch(1), Some(Instr::Jmp { target: 3 }));
+        assert_eq!(p.fetch(2), Some(Instr::Jmp { target: 0 }));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut asm = Assembler::new();
+        asm.jmp("nowhere");
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut asm = Assembler::new();
+        asm.label("x").nop().label("x").halt();
+        assert_eq!(asm.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn empty_program_errors() {
+        assert_eq!(Assembler::new().assemble().unwrap_err(), AsmError::Empty);
+    }
+
+    #[test]
+    fn program_is_cheap_to_clone_and_fetch_bounded() {
+        let mut asm = Assembler::new();
+        asm.nop().halt();
+        let p = asm.assemble().unwrap();
+        let q = p.clone();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.fetch(2), None);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.here(), 0);
+        asm.nop().nop();
+        assert_eq!(asm.here(), 2);
+    }
+
+    #[test]
+    fn all_emitters_produce_expected_instrs() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::R1, 5)
+            .mov(Reg::R2, Reg::R1)
+            .load(Reg::R3, Reg::R2, 8)
+            .store(Reg::R3, Reg::R2, 12)
+            .add(Reg::R1, Reg::R2)
+            .addi(Reg::R1, -1)
+            .sub(Reg::R1, Reg::R2)
+            .and(Reg::R1, Reg::R2)
+            .or(Reg::R1, Reg::R2)
+            .shl(Reg::R1, 2)
+            .shr(Reg::R1, 3)
+            .cmp(Reg::R1, Reg::R2)
+            .cmpi(Reg::R1, 7)
+            .cmpxchg(Reg::R2, 0, Reg::R3)
+            .syscall(9)
+            .nop()
+            .halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.len(), 17);
+        assert_eq!(p.fetch(0), Some(Instr::Li { rd: Reg::R1, imm: 5 }));
+        assert_eq!(p.fetch(14), Some(Instr::Syscall { code: 9 }));
+        assert_eq!(p.fetch(16), Some(Instr::Halt));
+    }
+}

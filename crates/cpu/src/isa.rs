@@ -1,0 +1,156 @@
+//! Registers and instructions.
+
+use std::fmt;
+
+/// One of the eight general-purpose registers.
+///
+/// By convention [`Reg::R0`] is the accumulator: [`Instr::CmpXchg`]
+/// compares memory against it, mirroring `EAX` in the i386 `CMPXCHG`
+/// instruction the paper's start protocol uses (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// Accumulator (the `CMPXCHG` comparand).
+    R0,
+    /// General purpose.
+    R1,
+    /// General purpose.
+    R2,
+    /// General purpose.
+    R3,
+    /// General purpose.
+    R4,
+    /// General purpose.
+    R5,
+    /// General purpose.
+    R6,
+    /// General purpose.
+    R7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    /// Register file index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// One instruction of the mini-ISA.
+///
+/// Branch targets are program-counter indices (the assembler resolves
+/// labels). Memory operands are a base register plus a signed byte
+/// displacement, i386-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd <- imm`
+    Li { rd: Reg, imm: u32 },
+    /// `rd <- rs`
+    Mov { rd: Reg, rs: Reg },
+    /// `rd <- mem32[rs_base + offset]`
+    Load { rd: Reg, base: Reg, offset: i32 },
+    /// `mem32[rs_base + offset] <- rs`
+    Store { rs: Reg, base: Reg, offset: i32 },
+    /// `rd <- rd + rs` (wrapping)
+    Add { rd: Reg, rs: Reg },
+    /// `rd <- rd + imm` (wrapping, sign-extended)
+    Addi { rd: Reg, imm: i32 },
+    /// `rd <- rd - rs` (wrapping)
+    Sub { rd: Reg, rs: Reg },
+    /// `rd <- rd & rs`
+    And { rd: Reg, rs: Reg },
+    /// `rd <- rd | rs`
+    Or { rd: Reg, rs: Reg },
+    /// `rd <- rd ^ rs`
+    Xor { rd: Reg, rs: Reg },
+    /// `rd <- rd << amount`
+    Shl { rd: Reg, amount: u8 },
+    /// `rd <- rd >> amount` (logical)
+    Shr { rd: Reg, amount: u8 },
+    /// Compare `ra` with `rb`: sets ZF (equal) and LT (signed less-than).
+    Cmp { ra: Reg, rb: Reg },
+    /// Compare `ra` with an immediate.
+    Cmpi { ra: Reg, imm: i32 },
+    /// Compare `mem32[base + offset]` with an immediate — one instruction
+    /// on the i386 (`cmp dword [mem], imm`), which is how the paper's
+    /// primitives poll flags.
+    CmpMem { base: Reg, offset: i32, imm: i32 },
+    /// `mem32[base + offset] <- imm` — i386 `mov dword [mem], imm`.
+    StImm { base: Reg, offset: i32, imm: u32 },
+    /// Unconditional jump.
+    Jmp { target: usize },
+    /// Jump if ZF.
+    Jz { target: usize },
+    /// Jump if !ZF.
+    Jnz { target: usize },
+    /// Jump if LT.
+    Jlt { target: usize },
+    /// Jump if !LT (greater or equal, signed).
+    Jge { target: usize },
+    /// Locked compare-and-exchange (i386 `LOCK CMPXCHG`): one atomic
+    /// read-(maybe-)write bus transaction against `mem32[base + offset]`.
+    /// If the loaded value equals `r0`, the memory is overwritten with
+    /// `src` and ZF is set; otherwise `r0` receives the loaded value and
+    /// ZF is cleared.
+    CmpXchg { base: Reg, offset: i32, src: Reg },
+    /// Trap to the kernel with an immediate code (used by the baseline's
+    /// kernel-mediated message passing; SHRIMP's data path never needs
+    /// it).
+    Syscall { code: u32 },
+    /// Stop the processor.
+    Halt,
+    /// Do nothing (costs one instruction).
+    Nop,
+}
+
+impl Instr {
+    /// True for instructions that read or write data memory.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::CmpXchg { .. }
+                | Instr::CmpMem { .. }
+                | Instr::StImm { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indices_are_dense() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::R5.to_string(), "r5");
+    }
+
+    #[test]
+    fn memory_instruction_classification() {
+        assert!(Instr::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }.touches_memory());
+        assert!(Instr::Store { rs: Reg::R1, base: Reg::R2, offset: 4 }.touches_memory());
+        assert!(Instr::CmpXchg { base: Reg::R1, offset: 0, src: Reg::R2 }.touches_memory());
+        assert!(!Instr::Add { rd: Reg::R1, rs: Reg::R2 }.touches_memory());
+        assert!(!Instr::Halt.touches_memory());
+    }
+}

@@ -1,0 +1,265 @@
+//! Address and page-number newtypes.
+//!
+//! Physical and virtual addresses are kept statically distinct so mapping
+//! code cannot confuse the two — the paper's whole design revolves around
+//! the NIPT translating *local physical* page numbers into *remote
+//! physical* page numbers.
+
+use std::fmt;
+
+/// Bytes per page, matching the i486/Pentium 4 KB page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Bytes per machine word; SHRIMP-era CPUs issue 32-bit stores.
+pub const WORD_SIZE: u64 = 4;
+
+/// A physical (DRAM) byte address on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A virtual byte address in some process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical page frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtPageNum(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The page this address falls on.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the page.
+    pub const fn offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// The address `delta` bytes further along.
+    pub const fn add(self, delta: u64) -> PhysAddr {
+        PhysAddr(self.0 + delta)
+    }
+
+    /// True if the address is word-aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_SIZE)
+    }
+}
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page this address falls on.
+    pub const fn page(self) -> VirtPageNum {
+        VirtPageNum(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset within the page.
+    pub const fn offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// The address `delta` bytes further along.
+    pub const fn add(self, delta: u64) -> VirtAddr {
+        VirtAddr(self.0 + delta)
+    }
+
+    /// True if the address is word-aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_SIZE)
+    }
+}
+
+impl PageNum {
+    /// Creates a page frame number.
+    pub const fn new(raw: u64) -> Self {
+        PageNum(raw)
+    }
+
+    /// Raw frame number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this page.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The byte address `offset` bytes into this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn at_offset(self, offset: u64) -> PhysAddr {
+        assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+        PhysAddr(self.0 * PAGE_SIZE + offset)
+    }
+
+    /// The next page.
+    pub const fn next(self) -> PageNum {
+        PageNum(self.0 + 1)
+    }
+}
+
+impl VirtPageNum {
+    /// Creates a virtual page number.
+    pub const fn new(raw: u64) -> Self {
+        VirtPageNum(raw)
+    }
+
+    /// Raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this virtual page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The byte address `offset` bytes into this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn at_offset(self, offset: u64) -> VirtAddr {
+        assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+        VirtAddr(self.0 * PAGE_SIZE + offset)
+    }
+
+    /// The next virtual page.
+    pub const fn next(self) -> VirtPageNum {
+        VirtPageNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{}", self.0)
+    }
+}
+
+impl fmt::Display for VirtPageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<PageNum> for u64 {
+    fn from(p: PageNum) -> u64 {
+        p.0
+    }
+}
+
+impl From<VirtPageNum> for u64 {
+    fn from(p: VirtPageNum) -> u64 {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_decomposition() {
+        let a = PhysAddr::new(3 * PAGE_SIZE + 17);
+        assert_eq!(a.page(), PageNum::new(3));
+        assert_eq!(a.offset(), 17);
+        assert_eq!(a.page().at_offset(a.offset()), a);
+    }
+
+    #[test]
+    fn virt_decomposition_mirrors_phys() {
+        let v = VirtAddr::new(9 * PAGE_SIZE + 4000);
+        assert_eq!(v.page(), VirtPageNum::new(9));
+        assert_eq!(v.offset(), 4000);
+        assert_eq!(v.page().at_offset(v.offset()), v);
+    }
+
+    #[test]
+    fn page_base_is_offset_zero() {
+        assert_eq!(PageNum::new(5).base(), PhysAddr::new(5 * PAGE_SIZE));
+        assert_eq!(PageNum::new(5).base().offset(), 0);
+        assert_eq!(VirtPageNum::new(2).base(), VirtAddr::new(2 * PAGE_SIZE));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn at_offset_rejects_out_of_page() {
+        PageNum::new(0).at_offset(PAGE_SIZE);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(PhysAddr::new(8).is_word_aligned());
+        assert!(!PhysAddr::new(9).is_word_aligned());
+        assert!(VirtAddr::new(0).is_word_aligned());
+        assert!(!VirtAddr::new(2).is_word_aligned());
+    }
+
+    #[test]
+    fn add_advances_bytes() {
+        assert_eq!(PhysAddr::new(4).add(8), PhysAddr::new(12));
+        assert_eq!(VirtAddr::new(4).add(8), VirtAddr::new(12));
+        assert_eq!(PageNum::new(1).next(), PageNum::new(2));
+        assert_eq!(VirtPageNum::new(1).next(), VirtPageNum::new(2));
+    }
+
+    #[test]
+    fn displays_are_distinct() {
+        assert_eq!(PhysAddr::new(16).to_string(), "p:0x10");
+        assert_eq!(VirtAddr::new(16).to_string(), "v:0x10");
+        assert_eq!(PageNum::new(7).to_string(), "pfn:7");
+        assert_eq!(VirtPageNum::new(7).to_string(), "vpn:7");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+    }
+}

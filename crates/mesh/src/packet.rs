@@ -1,0 +1,85 @@
+//! The unit of transfer on the backplane.
+
+use bytes::Bytes;
+
+use crate::topology::NodeId;
+
+/// Per-packet routing envelope overhead in bytes: routing bytes consumed by
+/// the iMRC routers plus framing. The NIC-level header (destination
+/// coordinates, destination address, CRC) lives *inside* the payload — the
+/// mesh is oblivious to it.
+pub const ROUTING_OVERHEAD_BYTES: u64 = 4;
+
+/// One packet in flight on the mesh.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_mesh::{MeshPacket, NodeId};
+///
+/// let p = MeshPacket::new(NodeId(0), NodeId(3), vec![0xaa; 16]);
+/// assert_eq!(p.wire_len(), 16 + shrimp_mesh::packet::ROUTING_OVERHEAD_BYTES);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshPacket {
+    src: NodeId,
+    dst: NodeId,
+    payload: Bytes,
+}
+
+impl MeshPacket {
+    /// Creates a packet carrying `payload` from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Self {
+        MeshPacket {
+            src,
+            dst,
+            payload: payload.into(),
+        }
+    }
+
+    /// Sending node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The opaque payload (the SHRIMP NIC's wire format).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Consumes the packet, returning the payload.
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+
+    /// Bytes this packet occupies on a link, envelope included.
+    pub fn wire_len(&self) -> u64 {
+        self.payload.len() as u64 + ROUTING_OVERHEAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = MeshPacket::new(NodeId(1), NodeId(2), vec![1, 2, 3]);
+        assert_eq!(p.src(), NodeId(1));
+        assert_eq!(p.dst(), NodeId(2));
+        assert_eq!(p.payload(), &[1, 2, 3]);
+        assert_eq!(p.wire_len(), 3 + ROUTING_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn empty_payload_still_has_envelope() {
+        let p = MeshPacket::new(NodeId(0), NodeId(0), Vec::new());
+        assert_eq!(p.wire_len(), ROUTING_OVERHEAD_BYTES);
+        assert!(p.into_payload().is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! The Outgoing and Incoming FIFOs.
+//!
+//! Both FIFOs are byte-capacity bounded and expose a *programmable
+//! threshold* (paper §4): the Incoming FIFO's threshold tells the NIC to
+//! stop accepting packets from the network; the Outgoing FIFO's threshold
+//! interrupts the CPU, which waits until the FIFO drains.
+
+use std::collections::VecDeque;
+
+use shrimp_sim::SimTime;
+
+use crate::packet::ShrimpPacket;
+
+/// A bounded FIFO of packets with byte accounting and a threshold.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_nic::PacketFifo;
+/// use shrimp_nic::{ShrimpPacket, WireHeader};
+/// use shrimp_mesh::{MeshCoord, NodeId};
+/// use shrimp_mem::PhysAddr;
+/// use shrimp_sim::SimTime;
+///
+/// let mut fifo = PacketFifo::new(1024, 512);
+/// let header = WireHeader { dst_coord: MeshCoord { x: 0, y: 0 }, src: NodeId(0), dst_addr: PhysAddr::new(0) };
+/// let p = ShrimpPacket::new(header, vec![0; 100]);
+/// assert!(fifo.try_push(SimTime::ZERO, p).is_ok());
+/// assert!(!fifo.over_threshold());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketFifo {
+    capacity: u64,
+    threshold: u64,
+    bytes: u64,
+    queue: VecDeque<(ShrimpPacket, SimTime)>,
+    high_watermark: u64,
+    pushes: u64,
+    rejections: u64,
+}
+
+impl PacketFifo {
+    /// Creates an empty FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > capacity`.
+    pub fn new(capacity: u64, threshold: u64) -> Self {
+        assert!(threshold <= capacity, "threshold exceeds capacity");
+        PacketFifo {
+            capacity,
+            threshold,
+            bytes: 0,
+            queue: VecDeque::new(),
+            high_watermark: 0,
+            pushes: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Appends a packet if its wire bytes fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back when it does not fit, so the caller can
+    /// stall and retry (the CPU for the Outgoing FIFO, the network for the
+    /// Incoming FIFO).
+    pub fn try_push(&mut self, now: SimTime, packet: ShrimpPacket) -> Result<(), ShrimpPacket> {
+        let len = packet.wire_len();
+        if self.bytes + len > self.capacity {
+            self.rejections += 1;
+            return Err(packet);
+        }
+        self.bytes += len;
+        self.high_watermark = self.high_watermark.max(self.bytes);
+        self.pushes += 1;
+        self.queue.push_back((packet, now));
+        Ok(())
+    }
+
+    /// True if a push of `len` wire bytes would fit right now.
+    pub fn would_fit(&self, len: u64) -> bool {
+        self.bytes + len <= self.capacity
+    }
+
+    /// Removes and returns the head packet and the time it was pushed.
+    pub fn pop(&mut self) -> Option<(ShrimpPacket, SimTime)> {
+        let (packet, at) = self.queue.pop_front()?;
+        self.bytes -= packet.wire_len();
+        Some((packet, at))
+    }
+
+    /// The head packet, without removing it.
+    pub fn peek(&self) -> Option<&ShrimpPacket> {
+        self.queue.front().map(|(p, _)| p)
+    }
+
+    /// The head packet and the time it was pushed, without removing it.
+    pub fn peek_with_time(&self) -> Option<(&ShrimpPacket, SimTime)> {
+        self.queue.front().map(|(p, t)| (p, *t))
+    }
+
+    /// Occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Packets queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when occupancy exceeds the programmable threshold.
+    pub fn over_threshold(&self) -> bool {
+        self.bytes > self.threshold
+    }
+
+    /// Highest occupancy seen.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pushes refused for lack of space.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::WireHeader;
+    use shrimp_mesh::{MeshCoord, NodeId};
+    use shrimp_mem::PhysAddr;
+
+    fn pkt(payload: usize) -> ShrimpPacket {
+        ShrimpPacket::new(
+            WireHeader {
+                dst_coord: MeshCoord { x: 0, y: 0 },
+                src: NodeId(0),
+                dst_addr: PhysAddr::new(0),
+            },
+            vec![0xaa; payload],
+        )
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut f = PacketFifo::new(4096, 2048);
+        let a = pkt(10);
+        let b = pkt(20);
+        let total = a.wire_len() + b.wire_len();
+        f.try_push(SimTime::ZERO, a.clone()).unwrap();
+        f.try_push(SimTime::ZERO, b.clone()).unwrap();
+        assert_eq!(f.bytes(), total);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop().unwrap().0, a);
+        assert_eq!(f.pop().unwrap().0, b);
+        assert!(f.is_empty());
+        assert_eq!(f.bytes(), 0);
+        assert_eq!(f.high_watermark(), total);
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_packet() {
+        let one = pkt(100).wire_len();
+        let mut f = PacketFifo::new(one, one);
+        f.try_push(SimTime::ZERO, pkt(100)).unwrap();
+        let refused = f.try_push(SimTime::ZERO, pkt(100)).unwrap_err();
+        assert_eq!(refused.payload().len(), 100);
+        assert_eq!(f.rejections(), 1);
+        assert!(!f.would_fit(one));
+        f.pop();
+        assert!(f.would_fit(one));
+    }
+
+    #[test]
+    fn threshold_signal() {
+        let one = pkt(100).wire_len();
+        let mut f = PacketFifo::new(10 * one, one);
+        f.try_push(SimTime::ZERO, pkt(100)).unwrap();
+        assert!(!f.over_threshold(), "at threshold is not over it");
+        f.try_push(SimTime::ZERO, pkt(100)).unwrap();
+        assert!(f.over_threshold());
+        f.pop();
+        assert!(!f.over_threshold());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = PacketFifo::new(4096, 4096);
+        f.try_push(SimTime::ZERO, pkt(4)).unwrap();
+        assert_eq!(f.peek().unwrap().payload().len(), 4);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn push_timestamps_are_preserved() {
+        let mut f = PacketFifo::new(4096, 4096);
+        let t = SimTime::from_picos(777);
+        f.try_push(t, pkt(4)).unwrap();
+        assert_eq!(f.pop().unwrap().1, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold exceeds capacity")]
+    fn bad_threshold_panics() {
+        PacketFifo::new(10, 11);
+    }
+}

@@ -1,0 +1,61 @@
+//! The SHRIMP virtual memory-mapped network interface.
+//!
+//! This crate models the custom NIC board of Figure 4 of the paper:
+//!
+//! * [`nipt`] — the **Network Interface Page Table**: one entry per page
+//!   of local physical memory, holding outgoing mapping segments (a page
+//!   may be split between two mappings at a configurable offset, §3.2),
+//!   the update policy (automatic single-write, automatic blocked-write,
+//!   or deliberate), and incoming ("mapped in") state.
+//! * [`packet`] — the wire format: destination mesh coordinates (checked
+//!   on arrival), destination physical address, payload, and a CRC32.
+//! * [`fifo`] — the Outgoing and Incoming FIFOs with programmable
+//!   thresholds that drive the flow-control chain of §4.
+//! * [`dma`] — the single deliberate-update DMA engine and its
+//!   `CMPXCHG`-based user-level start protocol (§4.3).
+//! * [`command`] — virtual-memory-mapped command pages (§4.2): a command
+//!   address space the same size as physical memory, at a fixed distance
+//!   from it, through which user processes talk to the NIC without any
+//!   kernel involvement.
+//! * [`nic`] — the [`NetworkInterface`] state machine composing all of the
+//!   above; the machine crate (`shrimp-core`) wires it to the CPU's memory
+//!   bus (snooping), the mesh, and the EISA DMA path.
+//!
+//! # Examples
+//!
+//! ```
+//! use shrimp_nic::{NetworkInterface, NicConfig, OutSegment, UpdatePolicy};
+//! use shrimp_mem::{PhysAddr, PageNum};
+//! use shrimp_mesh::{MeshShape, NodeId};
+//! use shrimp_sim::SimTime;
+//!
+//! let shape = MeshShape::new(2, 1);
+//! let mut nic = NetworkInterface::new(NodeId(0), shape, NicConfig::default(), 64);
+//! // Map local page 3 out to node 1's page 7, automatic single-write.
+//! nic.nipt_mut().set_out_segment(
+//!     PageNum::new(3),
+//!     OutSegment::full_page(NodeId(1), PageNum::new(7), UpdatePolicy::AutomaticSingle),
+//! )?;
+//! // A snooped store to page 3 becomes a network packet.
+//! let outcome = nic.snoop_write(SimTime::ZERO, PhysAddr::new(3 * 4096 + 8), &42u32.to_le_bytes());
+//! assert!(outcome.queued());
+//! # Ok::<(), shrimp_nic::NicError>(())
+//! ```
+
+pub mod command;
+pub mod config;
+pub mod dma;
+pub mod error;
+pub mod fifo;
+pub mod nic;
+pub mod nipt;
+pub mod packet;
+
+pub use command::{CommandOp, CommandSpace};
+pub use config::NicConfig;
+pub use dma::{DmaEngine, DmaStatus};
+pub use error::NicError;
+pub use fifo::PacketFifo;
+pub use nic::{IncomingDelivery, NetworkInterface, NicInterrupt, SnoopOutcome};
+pub use nipt::{Nipt, NiptEntry, OutSegment, UpdatePolicy};
+pub use packet::{ShrimpPacket, WireHeader};

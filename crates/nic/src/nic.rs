@@ -1,0 +1,995 @@
+//! The network interface state machine.
+//!
+//! [`NetworkInterface`] composes the NIPT, FIFOs, DMA engine and command
+//! space into the datapath of Figure 4. It is a passive component: the
+//! machine model in `shrimp-core` feeds it snooped bus writes, drains its
+//! Outgoing FIFO into the mesh, offers it arriving mesh packets, and
+//! performs the EISA DMA for deliveries it pops from the Incoming FIFO.
+
+use shrimp_mem::{PhysAddr, PageNum, WORD_SIZE};
+use shrimp_mesh::{MeshCoord, MeshPacket, MeshShape, NodeId};
+use shrimp_sim::SimTime;
+
+use crate::command::{CommandOp, CommandSpace};
+use crate::config::NicConfig;
+use crate::dma::DmaEngine;
+use crate::error::NicError;
+use crate::fifo::PacketFifo;
+use crate::nipt::{Nipt, OutSegment, UpdatePolicy};
+use crate::packet::{ShrimpPacket, WireHeader};
+
+/// What the NIC did with one snooped bus write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopOutcome {
+    /// The address is not mapped out (or is mapped for deliberate update):
+    /// the write is an ordinary memory write.
+    Ignored,
+    /// A packet was queued in the Outgoing FIFO (single-write automatic
+    /// update, or a blocked-write flush).
+    Queued,
+    /// The write joined (or opened) a pending blocked-write packet.
+    Merged,
+    /// The Outgoing FIFO could not take the packet: the CPU must stall
+    /// until the FIFO drains (paper §4). The data is buffered and will be
+    /// queued by [`NetworkInterface::poll`] once space frees.
+    Stalled,
+}
+
+impl SnoopOutcome {
+    /// True when the write produced or joined an outgoing packet.
+    pub fn queued(self) -> bool {
+        matches!(self, SnoopOutcome::Queued | SnoopOutcome::Merged)
+    }
+}
+
+/// The effect of a command-page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandEffect {
+    /// A deliberate-update transfer was started; the packet will be ready
+    /// at the reported time.
+    DmaStarted {
+        /// When the DMA engine finishes reading and packetizing.
+        done_at: SimTime,
+    },
+    /// The engine was busy; the hardware ignored the write. Correct code
+    /// never sees this because the `CMPXCHG` read phase returns busy.
+    DmaBusy,
+    /// A mapping segment's update policy was switched.
+    PolicyChanged,
+    /// The interrupt-on-arrival request was armed or disarmed.
+    InterruptToggled,
+}
+
+/// An interrupt raised towards the node CPU/kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicInterrupt {
+    /// The Outgoing FIFO crossed its threshold; the CPU waits for it to
+    /// drain.
+    OutgoingThreshold,
+    /// Data arrived for a page whose interrupt request was armed (§4.2).
+    DataArrival {
+        /// The page the data landed on.
+        page: PageNum,
+    },
+    /// An arriving packet addressed a page that is not mapped in; the
+    /// kernel is told so it can fault the offending connection.
+    BadDelivery,
+}
+
+/// A packet popped from the Incoming FIFO, ready for the memory transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncomingDelivery {
+    /// Destination physical address.
+    pub dst_addr: PhysAddr,
+    /// The data to deposit.
+    pub data: Vec<u8>,
+    /// Earliest time the memory transfer may start.
+    pub ready_at: SimTime,
+    /// The sending node.
+    pub src: NodeId,
+    /// True if the page's one-shot interrupt request was armed.
+    pub interrupt: bool,
+}
+
+/// Counters exposed by the NIC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Packets queued for the network.
+    pub packets_sent: u64,
+    /// Payload bytes queued for the network.
+    pub bytes_sent: u64,
+    /// Packets accepted from the network.
+    pub packets_received: u64,
+    /// Payload bytes accepted from the network.
+    pub bytes_received: u64,
+    /// Snooped writes merged into a pending blocked-write packet.
+    pub merged_writes: u64,
+    /// Packets produced by the single-write path.
+    pub single_write_packets: u64,
+    /// Packets produced by the blocked-write path.
+    pub blocked_write_packets: u64,
+    /// Packets produced by the deliberate-update DMA engine.
+    pub dma_packets: u64,
+    /// Arriving packets dropped for CRC/framing errors.
+    pub crc_drops: u64,
+    /// Arriving packets dropped because they were misrouted.
+    pub misroutes: u64,
+    /// Arriving packets addressed to pages that are not mapped in.
+    pub unmapped_drops: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingBlocked {
+    dst_node: NodeId,
+    dst_base: PhysAddr,
+    src_page: PageNum,
+    next_offset: u64,
+    data: Vec<u8>,
+    last_write: SimTime,
+}
+
+/// The SHRIMP network interface of one node.
+///
+/// See the crate-level docs for an example.
+#[derive(Debug, Clone)]
+pub struct NetworkInterface {
+    node: NodeId,
+    coord: MeshCoord,
+    shape: MeshShape,
+    config: NicConfig,
+    nipt: Nipt,
+    cmd_space: CommandSpace,
+    out_fifo: PacketFifo,
+    in_fifo: PacketFifo,
+    pending: Option<PendingBlocked>,
+    overflow: Vec<ShrimpPacket>,
+    dma: DmaEngine,
+    interrupts: Vec<NicInterrupt>,
+    out_threshold_raised: bool,
+    stats: NicStats,
+}
+
+impl NetworkInterface {
+    /// Creates the NIC of `node` on a `shape` backplane with `num_pages`
+    /// of local physical memory behind it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the node is off-mesh.
+    pub fn new(node: NodeId, shape: MeshShape, config: NicConfig, num_pages: u64) -> Self {
+        config.validate();
+        let coord = shape.coord_of(node);
+        NetworkInterface {
+            node,
+            coord,
+            shape,
+            config,
+            nipt: Nipt::new(num_pages),
+            cmd_space: CommandSpace::new(num_pages * shrimp_mem::PAGE_SIZE),
+            out_fifo: PacketFifo::new(config.out_fifo_bytes, config.out_fifo_threshold),
+            in_fifo: PacketFifo::new(config.in_fifo_bytes, config.in_fifo_threshold),
+            pending: None,
+            overflow: Vec::new(),
+            dma: DmaEngine::new(),
+            interrupts: Vec::new(),
+            out_threshold_raised: false,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This NIC's mesh coordinates.
+    pub fn coord(&self) -> MeshCoord {
+        self.coord
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// The network interface page table.
+    pub fn nipt(&self) -> &Nipt {
+        &self.nipt
+    }
+
+    /// Mutable access to the NIPT — the `map` system call's target.
+    pub fn nipt_mut(&mut self) -> &mut Nipt {
+        &mut self.nipt
+    }
+
+    /// The command address region.
+    pub fn command_space(&self) -> CommandSpace {
+        self.cmd_space
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// The DMA engine (primarily for inspection in tests and benches).
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    // ───────────────────────── outgoing: snoop path ──────────────────────
+
+    /// Reacts to a snooped write transaction on the memory bus.
+    ///
+    /// `addr` must be a data (not command) address; the machine routes
+    /// command-space stores to [`NetworkInterface::command_write`].
+    pub fn snoop_write(&mut self, now: SimTime, addr: PhysAddr, data: &[u8]) -> SnoopOutcome {
+        // A pending blocked-write packet must be terminated by any
+        // non-mergeable intervening write.
+        let mergeable = self.pending.as_ref().is_some_and(|p| {
+            addr.page() == p.src_page
+                && addr.offset() == p.next_offset
+                && now.saturating_since(p.last_write) <= self.config.merge_window
+                && p.data.len() + data.len() <= self.config.max_payload as usize
+        });
+
+        let seg = match self.nipt.lookup_out(addr) {
+            Some(seg) if seg.policy.is_automatic() => *seg,
+            _ => {
+                // Deliberate pages and unmapped pages: plain memory write;
+                // but it still terminates a pending merge on another page?
+                // No: only writes the NIC captures interact with the merge
+                // buffer. Expire it on time alone.
+                self.poll(now);
+                return SnoopOutcome::Ignored;
+            }
+        };
+
+        match seg.policy {
+            UpdatePolicy::AutomaticSingle => {
+                self.flush_pending(now);
+                let dst = seg.translate(addr.offset());
+                self.stats.single_write_packets += 1;
+                self.queue_packet(now + self.config.packetize_latency, seg.dst_node, dst, data.to_vec())
+            }
+            UpdatePolicy::AutomaticBlocked => {
+                if mergeable
+                    && self
+                        .pending
+                        .as_ref()
+                        .is_some_and(|p| p.dst_node == seg.dst_node)
+                {
+                    let p = self.pending.as_mut().expect("mergeable implies pending");
+                    p.data.extend_from_slice(data);
+                    p.next_offset += data.len() as u64;
+                    p.last_write = now;
+                    self.stats.merged_writes += 1;
+                    SnoopOutcome::Merged
+                } else {
+                    self.flush_pending(now);
+                    self.pending = Some(PendingBlocked {
+                        dst_node: seg.dst_node,
+                        dst_base: seg.translate(addr.offset()),
+                        src_page: addr.page(),
+                        next_offset: addr.offset() + data.len() as u64,
+                        data: data.to_vec(),
+                        last_write: now,
+                    });
+                    SnoopOutcome::Merged
+                }
+            }
+            UpdatePolicy::Deliberate => unreachable!("filtered above"),
+        }
+    }
+
+    /// Terminates the pending blocked-write packet, if any, queueing it.
+    /// Returns true if a packet was flushed.
+    pub fn flush_pending(&mut self, now: SimTime) -> bool {
+        let Some(p) = self.pending.take() else {
+            return false;
+        };
+        self.stats.blocked_write_packets += 1;
+        self.queue_packet(
+            now + self.config.packetize_latency,
+            p.dst_node,
+            p.dst_base,
+            p.data,
+        );
+        true
+    }
+
+    /// Housekeeping: expires the blocked-write merge window and retries
+    /// overflowed packets. Call whenever simulated time advances.
+    pub fn poll(&mut self, now: SimTime) {
+        if let Some(p) = &self.pending {
+            // At or past the deadline the packet is terminated (>=, so a
+            // wakeup scheduled exactly at the deadline makes progress).
+            if now.saturating_since(p.last_write) >= self.config.merge_window {
+                self.flush_pending(now);
+            }
+        }
+        self.refill_from_overflow(now);
+        if !self.out_fifo.over_threshold() {
+            self.out_threshold_raised = false;
+        }
+    }
+
+    /// Moves stalled packets into the Outgoing FIFO as space frees,
+    /// preserving order.
+    fn refill_from_overflow(&mut self, now: SimTime) {
+        while let Some(pkt) = self.overflow.first() {
+            if !self.out_fifo.would_fit(pkt.wire_len()) {
+                break;
+            }
+            let pkt = self.overflow.remove(0);
+            self.out_fifo
+                .try_push(now, pkt)
+                .expect("would_fit checked above");
+        }
+    }
+
+    /// The next time-based deadline this NIC needs a `poll` at (merge
+    /// window expiry).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending
+            .as_ref()
+            .map(|p| p.last_write + self.config.merge_window)
+    }
+
+    fn queue_packet(
+        &mut self,
+        ready_at: SimTime,
+        dst_node: NodeId,
+        dst_addr: PhysAddr,
+        data: Vec<u8>,
+    ) -> SnoopOutcome {
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        let packet = ShrimpPacket::new(
+            WireHeader {
+                dst_coord: self.shape.coord_of(dst_node),
+                src: self.node,
+                dst_addr,
+            },
+            data,
+        );
+        match self.out_fifo.try_push(ready_at, packet) {
+            Ok(()) => {
+                if self.out_fifo.over_threshold() && !self.out_threshold_raised {
+                    self.out_threshold_raised = true;
+                    self.interrupts.push(NicInterrupt::OutgoingThreshold);
+                }
+                SnoopOutcome::Queued
+            }
+            Err(packet) => {
+                self.overflow.push(packet);
+                if !self.out_threshold_raised {
+                    self.out_threshold_raised = true;
+                    self.interrupts.push(NicInterrupt::OutgoingThreshold);
+                }
+                SnoopOutcome::Stalled
+            }
+        }
+    }
+
+    // ───────────────────────── outgoing: FIFO → mesh ─────────────────────
+
+    /// When the head outgoing packet becomes ready for injection, if any.
+    /// The `try_push` timestamp doubles as the readiness time.
+    pub fn outgoing_ready_at(&self) -> Option<SimTime> {
+        self.out_fifo.peek_with_time().map(|(_, t)| t)
+    }
+
+    /// Pops the head outgoing packet as a mesh packet if it is ready by
+    /// `now`.
+    pub fn pop_outgoing(&mut self, now: SimTime) -> Option<MeshPacket> {
+        let (_, ready) = self.out_fifo.peek_with_time()?;
+        if ready > now {
+            return None;
+        }
+        let (packet, _) = self.out_fifo.pop()?;
+        let dst = self.shape.id_at(packet.header().dst_coord);
+        let wire = packet.encode();
+        // Space freed: stalled packets enter the FIFO now.
+        self.refill_from_overflow(now);
+        if !self.out_fifo.over_threshold() {
+            self.out_threshold_raised = false;
+        }
+        Some(MeshPacket::new(self.node, dst, wire))
+    }
+
+    /// True while the Outgoing FIFO is over its threshold — the CPU must
+    /// not issue further mapped writes (paper §4).
+    pub fn cpu_must_stall(&self) -> bool {
+        self.out_fifo.over_threshold() || !self.overflow.is_empty()
+    }
+
+    // ───────────────────────── command space ─────────────────────────────
+
+    /// True if `addr` is one of this NIC's command addresses.
+    pub fn is_command_addr(&self, addr: PhysAddr) -> bool {
+        self.cmd_space.contains(addr)
+    }
+
+    /// A read cycle on a command address: the DMA status word (§4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a command address.
+    pub fn command_read(&mut self, now: SimTime, addr: PhysAddr) -> u32 {
+        let data_addr = self
+            .cmd_space
+            .data_addr_for(addr)
+            .expect("command_read on a non-command address");
+        self.dma.status(now, data_addr).0
+    }
+
+    /// A write cycle on a command address.
+    ///
+    /// For a deliberate-update start the NIC needs to read the source
+    /// region from main memory; `mem_read` performs that read over the
+    /// memory bus and returns the bytes plus the bus completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::Malformed`] for an undecodable command,
+    /// [`NicError::NotDeliberateMapped`] /
+    /// [`NicError::CrossesPageBoundary`] for invalid transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a command address.
+    pub fn command_write(
+        &mut self,
+        now: SimTime,
+        addr: PhysAddr,
+        value: u32,
+        mem_read: impl FnOnce(PhysAddr, u64) -> (Vec<u8>, SimTime),
+    ) -> Result<CommandEffect, NicError> {
+        let data_addr = self
+            .cmd_space
+            .data_addr_for(addr)
+            .expect("command_write on a non-command address");
+        match CommandOp::decode(value)? {
+            CommandOp::StartTransfer { words } => {
+                self.start_deliberate(now, data_addr, words, mem_read)
+            }
+            CommandOp::SetPolicy(policy) => {
+                let page = data_addr.page();
+                let seg = self
+                    .nipt
+                    .entry(page)
+                    .and_then(|e| e.segment_at(data_addr.offset()))
+                    .copied()
+                    .ok_or(NicError::NotDeliberateMapped { addr: data_addr })?;
+                self.nipt
+                    .set_out_segment(page, OutSegment { policy, ..seg })?;
+                Ok(CommandEffect::PolicyChanged)
+            }
+            CommandOp::ArmInterrupt => {
+                self.nipt.set_interrupt_on_arrival(data_addr.page(), true)?;
+                Ok(CommandEffect::InterruptToggled)
+            }
+            CommandOp::DisarmInterrupt => {
+                self.nipt.set_interrupt_on_arrival(data_addr.page(), false)?;
+                Ok(CommandEffect::InterruptToggled)
+            }
+        }
+    }
+
+    fn start_deliberate(
+        &mut self,
+        now: SimTime,
+        src: PhysAddr,
+        words: u32,
+        mem_read: impl FnOnce(PhysAddr, u64) -> (Vec<u8>, SimTime),
+    ) -> Result<CommandEffect, NicError> {
+        let len = words as u64 * WORD_SIZE;
+        if src.offset() + len > shrimp_mem::PAGE_SIZE {
+            return Err(NicError::CrossesPageBoundary);
+        }
+        if len > self.config.max_payload {
+            return Err(NicError::CrossesPageBoundary);
+        }
+        let seg = match self.nipt.lookup_out(src) {
+            Some(seg) if seg.policy == UpdatePolicy::Deliberate => *seg,
+            _ => return Err(NicError::NotDeliberateMapped { addr: src }),
+        };
+        if src.offset() + len > seg.src_end {
+            return Err(NicError::BadMapping("transfer extends past the mapped segment"));
+        }
+        if !self.dma.is_idle(now) {
+            return Ok(CommandEffect::DmaBusy);
+        }
+        // The DMA engine reads the region from memory; the snooping
+        // datapath captures the data (paper §4.3).
+        let (data, read_done) = mem_read(src, len);
+        assert_eq!(data.len() as u64, len, "mem_read returned wrong length");
+        let done_at = read_done + self.config.dma_setup;
+        let started = self.dma.start(now, src, words, done_at);
+        debug_assert!(started, "engine was idle");
+        let dst = seg.translate(src.offset());
+        self.stats.dma_packets += 1;
+        self.queue_packet(done_at, seg.dst_node, dst, data);
+        Ok(CommandEffect::DmaStarted { done_at })
+    }
+
+    // ───────────────────────── incoming path ─────────────────────────────
+
+    /// True while the NIC accepts packets from the network. Below the
+    /// Incoming FIFO threshold only (paper §4).
+    pub fn can_accept_from_network(&self) -> bool {
+        !self.in_fifo.over_threshold()
+    }
+
+    /// Accepts one packet from the mesh: verifies routing and CRC and
+    /// queues it on the Incoming FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode/verification error; the packet is dropped and
+    /// counted.
+    pub fn accept_packet(&mut self, now: SimTime, packet: MeshPacket) -> Result<(), NicError> {
+        let decoded = match ShrimpPacket::decode(packet.payload()) {
+            Ok(d) => d,
+            Err(e) => {
+                self.stats.crc_drops += 1;
+                return Err(e);
+            }
+        };
+        if decoded.header().dst_coord != self.coord {
+            self.stats.misroutes += 1;
+            return Err(NicError::WrongDestination {
+                packet: decoded.header().dst_coord,
+                local: self.coord,
+            });
+        }
+        self.stats.packets_received += 1;
+        self.stats.bytes_received += decoded.payload().len() as u64;
+        self.in_fifo
+            .try_push(now, decoded)
+            .map_err(|_| NicError::IncomingFifoFull)
+    }
+
+    /// Pops the head of the Incoming FIFO once it has cleared the receive
+    /// pipeline, yielding the memory transfer to perform — or an error if
+    /// the addressed page is not mapped in (the packet is dropped and a
+    /// [`NicInterrupt::BadDelivery`] is raised).
+    pub fn pop_incoming(&mut self, now: SimTime) -> Option<Result<IncomingDelivery, NicError>> {
+        let ready_at = {
+            let (_, pushed) = self.in_fifo.peek_with_time()?;
+            pushed + self.config.receive_latency
+        };
+        if ready_at > now {
+            return None;
+        }
+        let (packet, _) = self.in_fifo.pop().expect("head checked above");
+        let page = packet.header().dst_addr.page();
+        if !self.nipt.is_mapped_in(page) {
+            self.stats.unmapped_drops += 1;
+            self.interrupts.push(NicInterrupt::BadDelivery);
+            return Some(Err(NicError::NotMappedIn { page }));
+        }
+        let interrupt = self.nipt.take_interrupt_request(page);
+        if interrupt {
+            self.interrupts.push(NicInterrupt::DataArrival { page });
+        }
+        let src = packet.header().src;
+        let dst_addr = packet.header().dst_addr;
+        Some(Ok(IncomingDelivery {
+            dst_addr,
+            data: packet.into_payload(),
+            ready_at,
+            src,
+            interrupt,
+        }))
+    }
+
+    /// When the head incoming packet clears the receive pipeline, if any.
+    pub fn incoming_ready_at(&self) -> Option<SimTime> {
+        self.in_fifo.peek_with_time()
+            .map(|(_, pushed)| pushed + self.config.receive_latency)
+    }
+
+    /// Drains raised interrupts.
+    pub fn take_interrupts(&mut self) -> Vec<NicInterrupt> {
+        std::mem::take(&mut self.interrupts)
+    }
+
+    /// Outgoing FIFO occupancy in bytes (for flow-control benches).
+    pub fn out_fifo_bytes(&self) -> u64 {
+        self.out_fifo.bytes()
+    }
+
+    /// Incoming FIFO occupancy in bytes.
+    pub fn in_fifo_bytes(&self) -> u64 {
+        self.in_fifo.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::PAGE_SIZE;
+    use shrimp_sim::SimDuration;
+
+    fn shape() -> MeshShape {
+        MeshShape::new(2, 2)
+    }
+
+    fn nic() -> NetworkInterface {
+        NetworkInterface::new(NodeId(0), shape(), NicConfig::default(), 64)
+    }
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    fn map_out(n: &mut NetworkInterface, page: u64, dst: u16, dst_page: u64, policy: UpdatePolicy) {
+        n.nipt_mut()
+            .set_out_segment(
+                PageNum::new(page),
+                OutSegment::full_page(NodeId(dst), PageNum::new(dst_page), policy),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn single_write_becomes_a_packet() {
+        let mut n = nic();
+        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
+        let addr = PageNum::new(2).at_offset(16);
+        let out = n.snoop_write(t(0), addr, &7u32.to_le_bytes());
+        assert_eq!(out, SnoopOutcome::Queued);
+        // Not ready before packetize latency.
+        assert!(n.pop_outgoing(t(0)).is_none());
+        let mp = n.pop_outgoing(t(1000)).expect("ready after packetize");
+        assert_eq!(mp.dst(), NodeId(1));
+        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
+        assert_eq!(decoded.header().dst_addr, PageNum::new(9).at_offset(16));
+        assert_eq!(decoded.payload(), &7u32.to_le_bytes());
+        assert_eq!(n.stats().single_write_packets, 1);
+    }
+
+    #[test]
+    fn unmapped_write_is_ignored() {
+        let mut n = nic();
+        assert_eq!(
+            n.snoop_write(t(0), PhysAddr::new(0), &[1, 2, 3, 4]),
+            SnoopOutcome::Ignored
+        );
+        assert_eq!(n.stats().packets_sent, 0);
+    }
+
+    #[test]
+    fn deliberate_page_writes_are_ignored_by_snoop() {
+        let mut n = nic();
+        map_out(&mut n, 2, 1, 9, UpdatePolicy::Deliberate);
+        assert_eq!(
+            n.snoop_write(t(0), PageNum::new(2).base(), &[0; 4]),
+            SnoopOutcome::Ignored
+        );
+    }
+
+    #[test]
+    fn blocked_writes_merge_when_consecutive() {
+        let mut n = nic();
+        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
+        let base = PageNum::new(3).base();
+        assert_eq!(n.snoop_write(t(0), base, &[1; 4]), SnoopOutcome::Merged);
+        assert_eq!(n.snoop_write(t(100), base.add(4), &[2; 4]), SnoopOutcome::Merged);
+        assert_eq!(n.snoop_write(t(200), base.add(8), &[3; 4]), SnoopOutcome::Merged);
+        assert_eq!(n.stats().merged_writes, 2);
+        // Nothing sent yet.
+        assert!(n.pop_outgoing(t(10_000)).is_none());
+        // Window expiry flushes one packet with all 12 bytes.
+        n.poll(t(1000));
+        let mp = n.pop_outgoing(t(10_000)).expect("flushed");
+        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
+        assert_eq!(decoded.payload().len(), 12);
+        assert_eq!(n.stats().blocked_write_packets, 1);
+    }
+
+    #[test]
+    fn non_consecutive_blocked_write_starts_new_packet() {
+        let mut n = nic();
+        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
+        let base = PageNum::new(3).base();
+        n.snoop_write(t(0), base, &[1; 4]);
+        // Skip a word: must terminate the first packet.
+        n.snoop_write(t(50), base.add(12), &[2; 4]);
+        n.poll(t(5000));
+        let a = n.pop_outgoing(t(100_000)).unwrap();
+        let b = n.pop_outgoing(t(100_000)).unwrap();
+        assert_eq!(ShrimpPacket::decode(a.payload()).unwrap().payload().len(), 4);
+        assert_eq!(ShrimpPacket::decode(b.payload()).unwrap().payload().len(), 4);
+    }
+
+    #[test]
+    fn merge_window_expiry_splits_packets() {
+        let mut n = nic();
+        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
+        let base = PageNum::new(3).base();
+        n.snoop_write(t(0), base, &[1; 4]);
+        // Longer than the 500ns window later:
+        n.snoop_write(t(2000), base.add(4), &[2; 4]);
+        n.poll(t(10_000));
+        assert_eq!(n.stats().blocked_write_packets, 2);
+    }
+
+    #[test]
+    fn single_write_flushes_pending_blocked_packet_first() {
+        let mut n = nic();
+        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
+        map_out(&mut n, 4, 1, 10, UpdatePolicy::AutomaticSingle);
+        n.snoop_write(t(0), PageNum::new(3).base(), &[1; 4]);
+        n.snoop_write(t(10), PageNum::new(4).base(), &[2; 4]);
+        // Both packets must be queued, blocked first.
+        let first = n.pop_outgoing(t(100_000)).unwrap();
+        let second = n.pop_outgoing(t(100_000)).unwrap();
+        let f = ShrimpPacket::decode(first.payload()).unwrap();
+        let s = ShrimpPacket::decode(second.payload()).unwrap();
+        assert_eq!(f.header().dst_addr.page(), PageNum::new(9));
+        assert_eq!(s.header().dst_addr.page(), PageNum::new(10));
+    }
+
+    #[test]
+    fn split_page_translates_via_correct_segment() {
+        let mut n = nic();
+        n.nipt_mut()
+            .set_out_segment(
+                PageNum::new(5),
+                OutSegment {
+                    src_start: 0,
+                    src_end: 2048,
+                    dst_node: NodeId(1),
+                    dst_base: PageNum::new(8).at_offset(2048),
+                    policy: UpdatePolicy::AutomaticSingle,
+                },
+            )
+            .unwrap();
+        n.nipt_mut()
+            .set_out_segment(
+                PageNum::new(5),
+                OutSegment {
+                    src_start: 2048,
+                    src_end: PAGE_SIZE,
+                    dst_node: NodeId(2),
+                    dst_base: PageNum::new(3).base(),
+                    policy: UpdatePolicy::AutomaticSingle,
+                },
+            )
+            .unwrap();
+        n.snoop_write(t(0), PageNum::new(5).at_offset(0), &[0; 4]);
+        n.snoop_write(t(1), PageNum::new(5).at_offset(2048), &[0; 4]);
+        let a = n.pop_outgoing(t(100_000)).unwrap();
+        let b = n.pop_outgoing(t(100_000)).unwrap();
+        assert_eq!(a.dst(), NodeId(1));
+        assert_eq!(
+            ShrimpPacket::decode(a.payload()).unwrap().header().dst_addr,
+            PageNum::new(8).at_offset(2048)
+        );
+        assert_eq!(b.dst(), NodeId(2));
+        assert_eq!(
+            ShrimpPacket::decode(b.payload()).unwrap().header().dst_addr,
+            PageNum::new(3).base()
+        );
+    }
+
+    #[test]
+    fn deliberate_update_full_protocol() {
+        let mut n = nic();
+        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
+        let data_addr = PageNum::new(6).base();
+        let cmd_addr = n.command_space().command_addr_for(data_addr);
+        assert!(n.is_command_addr(cmd_addr));
+        // Read phase: engine free → 0.
+        assert_eq!(n.command_read(t(0), cmd_addr), 0);
+        // Write phase: start 256 words.
+        let effect = n
+            .command_write(t(0), cmd_addr, 256, |src, len| {
+                assert_eq!(src, data_addr);
+                assert_eq!(len, 1024);
+                (vec![0x5a; 1024], t(500))
+            })
+            .unwrap();
+        let CommandEffect::DmaStarted { done_at } = effect else {
+            panic!("expected DmaStarted, got {effect:?}");
+        };
+        assert!(done_at > t(500));
+        // While busy: status shows remaining words and base match.
+        let status = crate::dma::DmaStatus(n.command_read(t(100), cmd_addr));
+        assert!(!status.is_free());
+        assert!(status.base_matches());
+        // A second start while busy is ignored by hardware.
+        let e2 = n
+            .command_write(t(100), cmd_addr, 16, |_, _| unreachable!("busy engine must not read"))
+            .unwrap();
+        assert_eq!(e2, CommandEffect::DmaBusy);
+        // Packet appears once DMA finishes.
+        assert!(n.pop_outgoing(done_at - SimDuration::from_ns(1)).is_none());
+        let mp = n.pop_outgoing(done_at).unwrap();
+        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
+        assert_eq!(decoded.payload().len(), 1024);
+        assert_eq!(decoded.header().dst_addr, PageNum::new(12).base());
+        assert_eq!(n.stats().dma_packets, 1);
+    }
+
+    #[test]
+    fn deliberate_rejects_bad_transfers() {
+        let mut n = nic();
+        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
+        let cmd = n
+            .command_space()
+            .command_addr_for(PageNum::new(6).at_offset(4092));
+        // Crossing the page boundary.
+        assert!(matches!(
+            n.command_write(t(0), cmd, 2, |_, _| unreachable!()),
+            Err(NicError::CrossesPageBoundary)
+        ));
+        // Page without a deliberate mapping.
+        let cmd2 = n.command_space().command_addr_for(PageNum::new(7).base());
+        assert!(matches!(
+            n.command_write(t(0), cmd2, 2, |_, _| unreachable!()),
+            Err(NicError::NotDeliberateMapped { .. })
+        ));
+        // Automatic mapping is not deliberate.
+        map_out(&mut n, 8, 1, 13, UpdatePolicy::AutomaticSingle);
+        let cmd3 = n.command_space().command_addr_for(PageNum::new(8).base());
+        assert!(matches!(
+            n.command_write(t(0), cmd3, 2, |_, _| unreachable!()),
+            Err(NicError::NotDeliberateMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn command_switches_policy_and_arms_interrupts() {
+        let mut n = nic();
+        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
+        let cmd = n.command_space().command_addr_for(PageNum::new(2).base());
+        let e = n
+            .command_write(
+                t(0),
+                cmd,
+                CommandOp::SetPolicy(UpdatePolicy::AutomaticBlocked).encode(),
+                |_, _| unreachable!(),
+            )
+            .unwrap();
+        assert_eq!(e, CommandEffect::PolicyChanged);
+        assert_eq!(
+            n.nipt().lookup_out(PageNum::new(2).base()).unwrap().policy,
+            UpdatePolicy::AutomaticBlocked
+        );
+        let e = n
+            .command_write(t(0), cmd, CommandOp::ArmInterrupt.encode(), |_, _| unreachable!())
+            .unwrap();
+        assert_eq!(e, CommandEffect::InterruptToggled);
+        assert!(!n.nipt().entry(PageNum::new(2)).unwrap().is_mapped_in());
+    }
+
+    fn wire_packet_for(n: &NetworkInterface, dst_addr: PhysAddr, data: Vec<u8>) -> MeshPacket {
+        let p = ShrimpPacket::new(
+            WireHeader {
+                dst_coord: n.coord(),
+                src: NodeId(3),
+                dst_addr,
+            },
+            data,
+        );
+        MeshPacket::new(NodeId(3), n.node(), p.encode())
+    }
+
+    #[test]
+    fn incoming_delivery_to_mapped_in_page() {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        let mp = wire_packet_for(&n, PageNum::new(4).at_offset(8), vec![9; 16]);
+        n.accept_packet(t(0), mp).unwrap();
+        assert!(n.pop_incoming(t(0)).is_none(), "receive latency first");
+        let d = n.pop_incoming(t(1000)).unwrap().unwrap();
+        assert_eq!(d.dst_addr, PageNum::new(4).at_offset(8));
+        assert_eq!(d.data, vec![9; 16]);
+        assert!(!d.interrupt);
+        assert_eq!(d.src, NodeId(3));
+        assert_eq!(n.stats().packets_received, 1);
+    }
+
+    #[test]
+    fn incoming_to_unmapped_page_drops_and_interrupts() {
+        let mut n = nic();
+        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 4]);
+        n.accept_packet(t(0), mp).unwrap();
+        let r = n.pop_incoming(t(1000)).unwrap();
+        assert!(matches!(r, Err(NicError::NotMappedIn { .. })));
+        assert_eq!(n.stats().unmapped_drops, 1);
+        assert_eq!(n.take_interrupts(), vec![NicInterrupt::BadDelivery]);
+    }
+
+    #[test]
+    fn misrouted_packet_rejected() {
+        let mut n = nic();
+        let p = ShrimpPacket::new(
+            WireHeader {
+                dst_coord: MeshCoord { x: 1, y: 1 },
+                src: NodeId(3),
+                dst_addr: PhysAddr::new(0),
+            },
+            vec![0; 4],
+        );
+        let mp = MeshPacket::new(NodeId(3), n.node(), p.encode());
+        assert!(matches!(
+            n.accept_packet(t(0), mp),
+            Err(NicError::WrongDestination { .. })
+        ));
+        assert_eq!(n.stats().misroutes, 1);
+    }
+
+    #[test]
+    fn corrupted_packet_rejected() {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 8]);
+        let mut wire = mp.payload().to_vec();
+        wire[5] ^= 0xff;
+        let bad = MeshPacket::new(NodeId(3), n.node(), wire);
+        assert!(n.accept_packet(t(0), bad).is_err());
+        assert_eq!(n.stats().crc_drops, 1);
+    }
+
+    #[test]
+    fn arrival_interrupt_fires_once() {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        n.nipt_mut().set_interrupt_on_arrival(PageNum::new(4), true).unwrap();
+        for _ in 0..2 {
+            let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 4]);
+            n.accept_packet(t(0), mp).unwrap();
+        }
+        let d1 = n.pop_incoming(t(1000)).unwrap().unwrap();
+        assert!(d1.interrupt);
+        let d2 = n.pop_incoming(t(1000)).unwrap().unwrap();
+        assert!(!d2.interrupt, "one-shot request");
+        assert_eq!(
+            n.take_interrupts(),
+            vec![NicInterrupt::DataArrival { page: PageNum::new(4) }]
+        );
+    }
+
+    #[test]
+    fn incoming_threshold_gates_acceptance() {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        assert!(n.can_accept_from_network());
+        // Fill past the threshold (6 KB of 8 KB) with 1 KB payloads.
+        let mut pushed = 0;
+        while n.can_accept_from_network() {
+            let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![0; 1024]);
+            n.accept_packet(t(0), mp).unwrap();
+            pushed += 1;
+        }
+        assert!(pushed >= 6);
+        // Draining re-opens acceptance.
+        while n.pop_incoming(t(1_000_000)).is_some() {}
+        assert!(n.can_accept_from_network());
+    }
+
+    #[test]
+    fn outgoing_threshold_raises_cpu_stall() {
+        let mut n = nic();
+        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
+        let addr = PageNum::new(2).base();
+        let mut writes = 0;
+        while !n.cpu_must_stall() {
+            n.snoop_write(t(writes), addr, &[0u8; 4]);
+            writes += 1;
+            assert!(writes < 10_000, "threshold must eventually trip");
+        }
+        assert!(n
+            .take_interrupts()
+            .contains(&NicInterrupt::OutgoingThreshold));
+        // Draining clears the stall.
+        while n.pop_outgoing(SimTime::from_picos(u64::MAX / 2)).is_some() {}
+        n.poll(t(writes));
+        assert!(!n.cpu_must_stall());
+    }
+}

@@ -1,0 +1,466 @@
+//! The Network Interface Page Table (NIPT).
+//!
+//! "The NIPT has one entry for each page of physical memory on the node,
+//! and contains information about whether, and how, the page is mapped"
+//! (paper §4). Each entry holds:
+//!
+//! * up to **two outgoing mapping segments** — a page can be split between
+//!   two separate mappings at a configurable offset (§3.2), which lets
+//!   applications map buffers that are not page-aligned;
+//! * the **mapped-in** bit — whether incoming packets may be delivered to
+//!   this page;
+//! * a one-shot **interrupt-on-arrival** request, settable from user level
+//!   through a command page (§4.2).
+
+use shrimp_mem::{PageNum, PhysAddr, PAGE_SIZE};
+use shrimp_mesh::NodeId;
+
+use crate::error::NicError;
+
+/// How snooped writes to a mapped-out region are transferred (§2, §4.1,
+/// §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdatePolicy {
+    /// Every store becomes a packet immediately: lowest latency.
+    AutomaticSingle,
+    /// Consecutive same-page stores within the merge window share one
+    /// packet: better bandwidth at slightly higher latency.
+    AutomaticBlocked,
+    /// Data moves only when the process issues an explicit send through a
+    /// command page; the DMA engine streams the region: highest bandwidth.
+    Deliberate,
+}
+
+impl UpdatePolicy {
+    /// True for either automatic-update flavor.
+    pub fn is_automatic(self) -> bool {
+        !matches!(self, UpdatePolicy::Deliberate)
+    }
+}
+
+/// One outgoing mapping segment: a byte range of a local physical page
+/// mapped to a contiguous destination region on a remote node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutSegment {
+    /// First covered in-page byte offset (inclusive).
+    pub src_start: u64,
+    /// End of the covered range (exclusive, at most [`PAGE_SIZE`]).
+    pub src_end: u64,
+    /// The node the data is sent to.
+    pub dst_node: NodeId,
+    /// Destination physical address corresponding to `src_start`.
+    pub dst_base: PhysAddr,
+    /// Transfer strategy for this segment.
+    pub policy: UpdatePolicy,
+}
+
+impl OutSegment {
+    /// A segment covering a whole page, mapped to a whole remote page —
+    /// the common, page-aligned case.
+    pub fn full_page(dst_node: NodeId, dst_page: PageNum, policy: UpdatePolicy) -> Self {
+        OutSegment {
+            src_start: 0,
+            src_end: PAGE_SIZE,
+            dst_node,
+            dst_base: dst_page.base(),
+            policy,
+        }
+    }
+
+    /// True if this segment covers the in-page byte `offset`.
+    pub fn contains(&self, offset: u64) -> bool {
+        (self.src_start..self.src_end).contains(&offset)
+    }
+
+    /// Destination address for in-page byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the segment.
+    pub fn translate(&self, offset: u64) -> PhysAddr {
+        assert!(self.contains(offset), "offset {offset} outside segment");
+        self.dst_base.add(offset - self.src_start)
+    }
+
+    /// Covered length in bytes.
+    pub fn len(&self) -> u64 {
+        self.src_end - self.src_start
+    }
+
+    /// True for an empty (degenerate) segment.
+    pub fn is_empty(&self) -> bool {
+        self.src_start >= self.src_end
+    }
+
+    fn validate(&self) -> Result<(), NicError> {
+        if self.is_empty() {
+            return Err(NicError::BadMapping("empty segment"));
+        }
+        if self.src_end > PAGE_SIZE {
+            return Err(NicError::BadMapping("segment extends past the page"));
+        }
+        if self.dst_base.offset() + self.len() > PAGE_SIZE {
+            return Err(NicError::BadMapping(
+                "destination region crosses a page boundary; split the mapping",
+            ));
+        }
+        Ok(())
+    }
+
+    fn overlaps(&self, other: &OutSegment) -> bool {
+        self.src_start < other.src_end && other.src_start < self.src_end
+    }
+}
+
+/// One NIPT entry (one local physical page).
+#[derive(Debug, Clone, Default)]
+pub struct NiptEntry {
+    segments: [Option<OutSegment>; 2],
+    mapped_in: bool,
+    interrupt_on_arrival: bool,
+}
+
+impl NiptEntry {
+    /// The outgoing segments configured on this page.
+    pub fn segments(&self) -> impl Iterator<Item = &OutSegment> {
+        self.segments.iter().flatten()
+    }
+
+    /// The segment covering in-page byte `offset`, if any.
+    pub fn segment_at(&self, offset: u64) -> Option<&OutSegment> {
+        self.segments().find(|s| s.contains(offset))
+    }
+
+    /// True if incoming packets may be delivered to this page.
+    pub fn is_mapped_in(&self) -> bool {
+        self.mapped_in
+    }
+
+    /// True if any outgoing segment is configured.
+    pub fn is_mapped_out(&self) -> bool {
+        self.segments().next().is_some()
+    }
+}
+
+/// The page table of one network interface.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_nic::{Nipt, OutSegment, UpdatePolicy};
+/// use shrimp_mem::{PageNum, PhysAddr};
+/// use shrimp_mesh::NodeId;
+///
+/// let mut nipt = Nipt::new(16);
+/// nipt.set_out_segment(
+///     PageNum::new(2),
+///     OutSegment::full_page(NodeId(1), PageNum::new(5), UpdatePolicy::Deliberate),
+/// )?;
+/// let seg = nipt.lookup_out(PhysAddr::new(2 * 4096 + 100)).unwrap();
+/// assert_eq!(seg.translate(100), PhysAddr::new(5 * 4096 + 100));
+/// # Ok::<(), shrimp_nic::NicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nipt {
+    entries: Vec<NiptEntry>,
+}
+
+impl Nipt {
+    /// Creates a NIPT with one (unmapped) entry per local physical page.
+    pub fn new(num_pages: u64) -> Self {
+        Nipt {
+            entries: vec![NiptEntry::default(); num_pages as usize],
+        }
+    }
+
+    /// Number of entries (== local physical pages).
+    pub fn num_pages(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// The entry for `page`, if the page exists.
+    pub fn entry(&self, page: PageNum) -> Option<&NiptEntry> {
+        self.entries.get(page.raw() as usize)
+    }
+
+    fn entry_mut(&mut self, page: PageNum) -> Result<&mut NiptEntry, NicError> {
+        self.entries
+            .get_mut(page.raw() as usize)
+            .ok_or(NicError::PageOutOfRange { page })
+    }
+
+    /// Installs an outgoing segment on `page`. A segment with the same
+    /// `src_start` is replaced; otherwise the segment takes the free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::BadMapping`] if the segment is malformed,
+    /// overlaps an existing segment, or both slots are taken (a page can
+    /// be split between at most two mappings, §3.2);
+    /// [`NicError::PageOutOfRange`] if `page` does not exist.
+    pub fn set_out_segment(&mut self, page: PageNum, seg: OutSegment) -> Result<(), NicError> {
+        seg.validate()?;
+        let entry = self.entry_mut(page)?;
+        // Replace in place if same start.
+        if let Some(_slot) = entry
+            .segments
+            .iter_mut()
+            .flatten()
+            .find(|s| s.src_start == seg.src_start)
+        {
+            if entry
+                .segments
+                .iter()
+                .flatten()
+                .any(|s| s.src_start != seg.src_start && s.overlaps(&seg))
+            {
+                return Err(NicError::BadMapping("segments overlap"));
+            }
+            let slot = entry
+                .segments
+                .iter_mut()
+                .flatten()
+                .find(|s| s.src_start == seg.src_start)
+                .expect("checked above");
+            *slot = seg;
+            return Ok(());
+        }
+        if entry.segments.iter().flatten().any(|s| s.overlaps(&seg)) {
+            return Err(NicError::BadMapping("segments overlap"));
+        }
+        match entry.segments.iter_mut().find(|s| s.is_none()) {
+            Some(slot) => {
+                *slot = Some(seg);
+                Ok(())
+            }
+            None => Err(NicError::BadMapping(
+                "page already split between two mappings",
+            )),
+        }
+    }
+
+    /// Removes the outgoing segment that covers `offset` on `page`.
+    /// Returns the removed segment.
+    pub fn clear_out_segment(&mut self, page: PageNum, offset: u64) -> Option<OutSegment> {
+        let entry = self.entries.get_mut(page.raw() as usize)?;
+        for slot in entry.segments.iter_mut() {
+            if slot.is_some_and(|s| s.contains(offset)) {
+                return slot.take();
+            }
+        }
+        None
+    }
+
+    /// Removes all outgoing segments on `page`, returning how many were
+    /// removed.
+    pub fn clear_out_segments(&mut self, page: PageNum) -> usize {
+        match self.entries.get_mut(page.raw() as usize) {
+            Some(entry) => entry.segments.iter_mut().filter_map(Option::take).count(),
+            None => 0,
+        }
+    }
+
+    /// The outgoing segment covering physical address `addr`, if any.
+    /// This is the lookup the snooping datapath performs on every bus
+    /// write.
+    pub fn lookup_out(&self, addr: PhysAddr) -> Option<&OutSegment> {
+        self.entry(addr.page())?.segment_at(addr.offset())
+    }
+
+    /// Marks `page` as mapped in (or not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::PageOutOfRange`] if `page` does not exist.
+    pub fn set_mapped_in(&mut self, page: PageNum, mapped: bool) -> Result<(), NicError> {
+        self.entry_mut(page)?.mapped_in = mapped;
+        Ok(())
+    }
+
+    /// True if incoming packets may be delivered to `page`.
+    pub fn is_mapped_in(&self, page: PageNum) -> bool {
+        self.entry(page).is_some_and(|e| e.mapped_in)
+    }
+
+    /// Arms (or disarms) the one-shot interrupt-on-arrival request for
+    /// `page` (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::PageOutOfRange`] if `page` does not exist.
+    pub fn set_interrupt_on_arrival(&mut self, page: PageNum, armed: bool) -> Result<(), NicError> {
+        self.entry_mut(page)?.interrupt_on_arrival = armed;
+        Ok(())
+    }
+
+    /// Consumes the one-shot interrupt request for `page`, returning
+    /// whether it was armed.
+    pub fn take_interrupt_request(&mut self, page: PageNum) -> bool {
+        match self.entries.get_mut(page.raw() as usize) {
+            Some(e) => std::mem::take(&mut e.interrupt_on_arrival),
+            None => false,
+        }
+    }
+
+    /// Iterates pages with at least one outgoing segment.
+    pub fn mapped_out_pages(&self) -> impl Iterator<Item = PageNum> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_mapped_out())
+            .map(|(i, _)| PageNum::new(i as u64))
+    }
+
+    /// Iterates pages that are mapped in.
+    pub fn mapped_in_pages(&self) -> impl Iterator<Item = PageNum> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.mapped_in)
+            .map(|(i, _)| PageNum::new(i as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start: u64, end: u64, dst_off: u64) -> OutSegment {
+        OutSegment {
+            src_start: start,
+            src_end: end,
+            dst_node: NodeId(1),
+            dst_base: PageNum::new(9).base().add(dst_off),
+            policy: UpdatePolicy::AutomaticSingle,
+        }
+    }
+
+    #[test]
+    fn full_page_mapping_translates_identically() {
+        let s = OutSegment::full_page(NodeId(2), PageNum::new(4), UpdatePolicy::Deliberate);
+        assert_eq!(s.len(), PAGE_SIZE);
+        assert_eq!(s.translate(0), PageNum::new(4).base());
+        assert_eq!(s.translate(4095), PageNum::new(4).base().add(4095));
+        assert!(!s.policy.is_automatic());
+    }
+
+    #[test]
+    fn split_page_mapping_two_segments() {
+        // Paper §3.2: one page split at offset 1000 between two mappings.
+        let mut nipt = Nipt::new(8);
+        let p = PageNum::new(3);
+        nipt.set_out_segment(p, seg(0, 1000, 3096)).unwrap(); // tail of remote page
+        nipt.set_out_segment(p, seg(1000, PAGE_SIZE, 0)).unwrap(); // next region
+        let low = nipt.lookup_out(p.at_offset(500)).unwrap();
+        assert_eq!(low.translate(500), PageNum::new(9).base().add(3096 + 500));
+        let high = nipt.lookup_out(p.at_offset(1000)).unwrap();
+        assert_eq!(high.translate(1000), PageNum::new(9).base());
+        assert_eq!(nipt.entry(p).unwrap().segments().count(), 2);
+    }
+
+    #[test]
+    fn third_segment_rejected() {
+        let mut nipt = Nipt::new(8);
+        let p = PageNum::new(0);
+        nipt.set_out_segment(p, seg(0, 100, 0)).unwrap();
+        nipt.set_out_segment(p, seg(100, 200, 100)).unwrap();
+        assert!(matches!(
+            nipt.set_out_segment(p, seg(200, 300, 200)),
+            Err(NicError::BadMapping(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_segments_rejected() {
+        let mut nipt = Nipt::new(8);
+        let p = PageNum::new(0);
+        nipt.set_out_segment(p, seg(0, 200, 0)).unwrap();
+        assert!(matches!(
+            nipt.set_out_segment(p, seg(100, 300, 500)),
+            Err(NicError::BadMapping(_))
+        ));
+    }
+
+    #[test]
+    fn same_start_replaces() {
+        let mut nipt = Nipt::new(8);
+        let p = PageNum::new(0);
+        nipt.set_out_segment(p, seg(0, 200, 0)).unwrap();
+        let mut replacement = seg(0, 150, 64);
+        replacement.policy = UpdatePolicy::Deliberate;
+        nipt.set_out_segment(p, replacement).unwrap();
+        let s = nipt.lookup_out(p.at_offset(0)).unwrap();
+        assert_eq!(s.src_end, 150);
+        assert_eq!(s.policy, UpdatePolicy::Deliberate);
+        assert!(nipt.lookup_out(p.at_offset(180)).is_none());
+    }
+
+    #[test]
+    fn malformed_segments_rejected() {
+        let mut nipt = Nipt::new(8);
+        let p = PageNum::new(0);
+        assert!(nipt.set_out_segment(p, seg(100, 100, 0)).is_err(), "empty");
+        assert!(
+            nipt.set_out_segment(p, seg(0, PAGE_SIZE + 1, 0)).is_err(),
+            "past page end"
+        );
+        // Destination region crossing a page boundary must be split.
+        assert!(
+            nipt.set_out_segment(p, seg(0, 200, PAGE_SIZE - 100)).is_err(),
+            "dest crosses boundary"
+        );
+    }
+
+    #[test]
+    fn lookup_out_misses_unmapped() {
+        let nipt = Nipt::new(4);
+        assert!(nipt.lookup_out(PhysAddr::new(0)).is_none());
+        assert!(nipt.entry(PageNum::new(4)).is_none());
+    }
+
+    #[test]
+    fn page_out_of_range_errors() {
+        let mut nipt = Nipt::new(4);
+        assert!(matches!(
+            nipt.set_out_segment(PageNum::new(9), seg(0, 10, 0)),
+            Err(NicError::PageOutOfRange { .. })
+        ));
+        assert!(nipt.set_mapped_in(PageNum::new(9), true).is_err());
+    }
+
+    #[test]
+    fn mapped_in_and_interrupt_flags() {
+        let mut nipt = Nipt::new(4);
+        let p = PageNum::new(2);
+        assert!(!nipt.is_mapped_in(p));
+        nipt.set_mapped_in(p, true).unwrap();
+        assert!(nipt.is_mapped_in(p));
+        nipt.set_interrupt_on_arrival(p, true).unwrap();
+        assert!(nipt.take_interrupt_request(p), "armed request fires");
+        assert!(!nipt.take_interrupt_request(p), "one-shot: cleared");
+    }
+
+    #[test]
+    fn clear_segments() {
+        let mut nipt = Nipt::new(4);
+        let p = PageNum::new(1);
+        nipt.set_out_segment(p, seg(0, 100, 0)).unwrap();
+        nipt.set_out_segment(p, seg(200, 300, 200)).unwrap();
+        let removed = nipt.clear_out_segment(p, 250).unwrap();
+        assert_eq!(removed.src_start, 200);
+        assert_eq!(nipt.clear_out_segments(p), 1);
+        assert!(!nipt.entry(p).unwrap().is_mapped_out());
+    }
+
+    #[test]
+    fn mapped_page_iterators() {
+        let mut nipt = Nipt::new(6);
+        nipt.set_out_segment(PageNum::new(1), seg(0, 10, 0)).unwrap();
+        nipt.set_out_segment(PageNum::new(4), seg(0, 10, 0)).unwrap();
+        nipt.set_mapped_in(PageNum::new(5), true).unwrap();
+        let out: Vec<_> = nipt.mapped_out_pages().collect();
+        assert_eq!(out, vec![PageNum::new(1), PageNum::new(4)]);
+        let inn: Vec<_> = nipt.mapped_in_pages().collect();
+        assert_eq!(inn, vec![PageNum::new(5)]);
+    }
+}

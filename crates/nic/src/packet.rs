@@ -1,0 +1,245 @@
+//! The NIC wire format.
+//!
+//! A packet consists of "routing information, the absolute mesh
+//! coordinates of the intended receiver, destination memory address,
+//! data, and a CRC checksum to detect network errors" (paper §3.1). The
+//! routing information proper is consumed by the mesh model
+//! ([`shrimp_mesh::packet::ROUTING_OVERHEAD_BYTES`]); everything else is
+//! encoded here.
+
+use shrimp_mesh::{MeshCoord, NodeId};
+use shrimp_mem::PhysAddr;
+
+use crate::error::NicError;
+
+/// The decoded header of a SHRIMP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Absolute mesh coordinates of the intended receiver, used by the
+    /// receiving NIC to verify correct routing.
+    pub dst_coord: MeshCoord,
+    /// Sending node (used for statistics and debugging; the hardware
+    /// guarantees per-sender order so receivers never need it for
+    /// reassembly).
+    pub src: NodeId,
+    /// Destination physical byte address on the receiving node.
+    pub dst_addr: PhysAddr,
+}
+
+impl WireHeader {
+    /// Encoded header size: dst x/y (2) + src (2) + dst_addr (8) +
+    /// payload length (2).
+    pub const WIRE_BYTES: u64 = 14;
+}
+
+/// A complete SHRIMP packet: header, payload, CRC32.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_nic::{ShrimpPacket, WireHeader};
+/// use shrimp_mesh::{MeshCoord, NodeId};
+/// use shrimp_mem::PhysAddr;
+///
+/// let header = WireHeader {
+///     dst_coord: MeshCoord { x: 1, y: 0 },
+///     src: NodeId(0),
+///     dst_addr: PhysAddr::new(0x2000),
+/// };
+/// let packet = ShrimpPacket::new(header, vec![1, 2, 3, 4]);
+/// let wire = packet.encode();
+/// let decoded = ShrimpPacket::decode(&wire)?;
+/// assert_eq!(decoded.payload(), &[1, 2, 3, 4]);
+/// # Ok::<(), shrimp_nic::NicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrimpPacket {
+    header: WireHeader,
+    payload: Vec<u8>,
+}
+
+impl ShrimpPacket {
+    /// Builds a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u16::MAX` bytes (the length field).
+    pub fn new(header: WireHeader, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= u16::MAX as usize, "payload too large");
+        ShrimpPacket { header, payload }
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &WireHeader {
+        &self.header
+    }
+
+    /// The data bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Consumes the packet, returning the payload.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+
+    /// Total encoded size in bytes (header + payload + CRC32).
+    pub fn wire_len(&self) -> u64 {
+        WireHeader::WIRE_BYTES + self.payload.len() as u64 + 4
+    }
+
+    /// Serializes to wire bytes, appending the CRC32 of everything before
+    /// it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len() as usize);
+        out.push(self.header.dst_coord.x as u8);
+        out.push(self.header.dst_coord.y as u8);
+        out.extend_from_slice(&self.header.src.0.to_le_bytes());
+        out.extend_from_slice(&self.header.dst_addr.raw().to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::Malformed`] for truncated or length-inconsistent
+    /// input and [`NicError::BadCrc`] when the checksum does not match.
+    pub fn decode(wire: &[u8]) -> Result<ShrimpPacket, NicError> {
+        const H: usize = WireHeader::WIRE_BYTES as usize;
+        if wire.len() < H + 4 {
+            return Err(NicError::Malformed("truncated packet"));
+        }
+        let (body, crc_bytes) = wire.split_at(wire.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+        if crc32(body) != stored {
+            return Err(NicError::BadCrc);
+        }
+        let len = u16::from_le_bytes([body[12], body[13]]) as usize;
+        if body.len() != H + len {
+            return Err(NicError::Malformed("length field mismatch"));
+        }
+        let header = WireHeader {
+            dst_coord: MeshCoord {
+                x: body[0] as u16,
+                y: body[1] as u16,
+            },
+            src: NodeId(u16::from_le_bytes([body[2], body[3]])),
+            dst_addr: PhysAddr::new(u64::from_le_bytes(
+                body[4..12].try_into().expect("8-byte address"),
+            )),
+        };
+        Ok(ShrimpPacket {
+            header,
+            payload: body[H..].to_vec(),
+        })
+    }
+}
+
+/// IEEE 802.3 CRC-32, bitwise (table-free) implementation.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> WireHeader {
+        WireHeader {
+            dst_coord: MeshCoord { x: 3, y: 1 },
+            src: NodeId(7),
+            dst_addr: PhysAddr::new(0xdead_b000),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = ShrimpPacket::new(header(), (0..=255).collect());
+        let wire = p.encode();
+        assert_eq!(wire.len() as u64, p.wire_len());
+        let d = ShrimpPacket::decode(&wire).unwrap();
+        assert_eq!(d, p);
+        assert_eq!(d.header().dst_addr, PhysAddr::new(0xdead_b000));
+        assert_eq!(d.header().src, NodeId(7));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let p = ShrimpPacket::new(header(), Vec::new());
+        let d = ShrimpPacket::decode(&p.encode()).unwrap();
+        assert!(d.payload().is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected_anywhere() {
+        let p = ShrimpPacket::new(header(), vec![5; 32]);
+        let wire = p.encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            let r = ShrimpPacket::decode(&bad);
+            assert!(r.is_err(), "flip at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let p = ShrimpPacket::new(header(), vec![1, 2, 3]);
+        let wire = p.encode();
+        assert!(matches!(
+            ShrimpPacket::decode(&wire[..10]),
+            Err(NicError::Malformed(_))
+        ));
+        // Cutting payload bytes breaks the CRC first.
+        assert!(ShrimpPacket::decode(&wire[..wire.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn length_field_mismatch_detected() {
+        // Hand-build a packet whose length field disagrees with its size,
+        // with a valid CRC over the inconsistent body.
+        let p = ShrimpPacket::new(header(), vec![9; 8]);
+        let mut wire = p.encode();
+        let body_end = wire.len() - 4;
+        wire[12] = 4; // claim 4 bytes of payload instead of 8
+        let crc = crc32(&wire[..body_end]);
+        wire[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ShrimpPacket::decode(&wire),
+            Err(NicError::Malformed("length field mismatch"))
+        );
+    }
+
+    #[test]
+    fn wire_len_matches_constant() {
+        let p = ShrimpPacket::new(header(), vec![0; 4]);
+        assert_eq!(p.wire_len(), WireHeader::WIRE_BYTES + 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversized_payload_rejected() {
+        ShrimpPacket::new(header(), vec![0; 70_000]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the network interface invariants.
+
+use proptest::prelude::*;
+
+use shrimp_mem::{PageNum, PhysAddr, PAGE_SIZE};
+use shrimp_mesh::{MeshCoord, MeshShape, NodeId};
+use shrimp_nic::{
+    CommandOp, NetworkInterface, NicConfig, OutSegment, PacketFifo, ShrimpPacket, UpdatePolicy,
+    WireHeader,
+};
+use shrimp_sim::{SimDuration, SimTime};
+
+fn nic() -> NetworkInterface {
+    NetworkInterface::new(NodeId(0), MeshShape::new(2, 1), NicConfig::default(), 64)
+}
+
+proptest! {
+    /// The Outgoing FIFO's byte accounting is exact under any push/pop
+    /// interleaving, and capacity is never exceeded.
+    #[test]
+    fn fifo_byte_accounting(ops in prop::collection::vec((any::<bool>(), 0usize..600), 1..200)) {
+        let mut fifo = PacketFifo::new(4096, 2048);
+        let header = WireHeader {
+            dst_coord: MeshCoord { x: 0, y: 0 },
+            src: NodeId(0),
+            dst_addr: PhysAddr::new(0),
+        };
+        let mut model: Vec<u64> = Vec::new();
+        for (push, len) in ops {
+            if push {
+                let pkt = ShrimpPacket::new(header, vec![0u8; len]);
+                let wire = pkt.wire_len();
+                match fifo.try_push(SimTime::ZERO, pkt) {
+                    Ok(()) => model.push(wire),
+                    Err(_) => {
+                        prop_assert!(model.iter().sum::<u64>() + wire > 4096, "refusal only when full");
+                    }
+                }
+            } else if let Some((pkt, _)) = fifo.pop() {
+                let expect = model.remove(0);
+                prop_assert_eq!(pkt.wire_len(), expect, "FIFO order");
+            } else {
+                prop_assert!(model.is_empty());
+            }
+            prop_assert_eq!(fifo.bytes(), model.iter().sum::<u64>());
+            prop_assert!(fifo.bytes() <= 4096);
+            prop_assert_eq!(fifo.len(), model.len());
+        }
+    }
+
+    /// Every decodable command round-trips; undecodable words are
+    /// rejected, never misinterpreted.
+    #[test]
+    fn command_decode_total(value in any::<u32>()) {
+        match CommandOp::decode(value) {
+            Ok(op) => prop_assert_eq!(op.encode() >> 26, value >> 26, "opcode preserved"),
+            Err(_) => {
+                let op = value >> 26;
+                prop_assert!(
+                    op > 3 || (op == 0 && value & ((1 << 26) - 1) == 0)
+                        || (op == 1 && (value & ((1 << 26) - 1)) > 2),
+                    "only genuinely invalid encodings error: {value:#x}"
+                );
+            }
+        }
+    }
+
+    /// Blocked-write merging never loses or reorders bytes: any store
+    /// sequence to a mapped page produces packets that replay to exactly
+    /// the stored data.
+    #[test]
+    fn blocked_write_merging_preserves_data(
+        // Word-aligned stores at increasing offsets with random gaps and delays.
+        stores in prop::collection::vec((0u64..16, 0u64..2000, any::<u32>()), 1..60),
+    ) {
+        let mut n = nic();
+        n.nipt_mut()
+            .set_out_segment(
+                PageNum::new(3),
+                OutSegment::full_page(NodeId(1), PageNum::new(9), UpdatePolicy::AutomaticBlocked),
+            )
+            .unwrap();
+        // Model of the remote page.
+        let mut expect = vec![0u8; PAGE_SIZE as usize];
+        let mut offset = 0u64;
+        let mut now = SimTime::ZERO;
+        let mut wrote = Vec::new();
+        for (gap_words, delay_ns, value) in stores {
+            offset += gap_words * 4;
+            if offset + 4 > PAGE_SIZE {
+                break;
+            }
+            now += SimDuration::from_ns(delay_ns);
+            n.snoop_write(now, PageNum::new(3).at_offset(offset), &value.to_le_bytes());
+            expect[offset as usize..offset as usize + 4].copy_from_slice(&value.to_le_bytes());
+            wrote.push(offset);
+            offset += 4;
+        }
+        // Flush and replay all packets into a model page.
+        n.poll(now + SimDuration::from_us(100));
+        let mut replay = vec![0u8; PAGE_SIZE as usize];
+        let far = SimTime::from_picos(u64::MAX / 2);
+        while let Some(mp) = n.pop_outgoing(far) {
+            let p = ShrimpPacket::decode(mp.payload()).unwrap();
+            let off = p.header().dst_addr.offset() as usize;
+            replay[off..off + p.payload().len()].copy_from_slice(p.payload());
+        }
+        for &o in &wrote {
+            let o = o as usize;
+            prop_assert_eq!(&replay[o..o + 4], &expect[o..o + 4], "bytes at {}", o);
+        }
+    }
+
+    /// The incoming threshold gate is sound: acceptance stops at or
+    /// above the threshold and always resumes after draining.
+    #[test]
+    fn incoming_threshold_gate(sizes in prop::collection::vec(16usize..1500, 1..40)) {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        let mut accepted = 0u64;
+        for (i, len) in sizes.iter().enumerate() {
+            if !n.can_accept_from_network() {
+                break;
+            }
+            let p = ShrimpPacket::new(
+                WireHeader {
+                    dst_coord: n.coord(),
+                    src: NodeId(1),
+                    dst_addr: PageNum::new(4).base(),
+                },
+                vec![i as u8; *len],
+            );
+            let mp = shrimp_mesh::MeshPacket::new(NodeId(1), NodeId(0), p.encode());
+            n.accept_packet(SimTime::ZERO, mp).unwrap();
+            accepted += 1;
+            prop_assert!(n.in_fifo_bytes() <= n.config().in_fifo_bytes);
+        }
+        // Drain fully: acceptance must resume.
+        let far = SimTime::from_picos(u64::MAX / 2);
+        let mut drained = 0u64;
+        while let Some(r) = n.pop_incoming(far) {
+            r.unwrap();
+            drained += 1;
+        }
+        prop_assert_eq!(drained, accepted);
+        prop_assert!(n.can_accept_from_network());
+    }
+}
+
+#[test]
+fn stats_never_lie_about_conservation() {
+    // Deterministic end-to-end conservation check on the NIC alone:
+    // packets out == packets queued, bytes preserved.
+    let mut n = nic();
+    n.nipt_mut()
+        .set_out_segment(
+            PageNum::new(2),
+            OutSegment::full_page(NodeId(1), PageNum::new(7), UpdatePolicy::AutomaticSingle),
+        )
+        .unwrap();
+    let mut bytes = 0;
+    for i in 0..200u64 {
+        let off = (i * 4) % PAGE_SIZE;
+        n.snoop_write(
+            SimTime::from_picos(i * 1000),
+            PageNum::new(2).at_offset(off),
+            &(i as u32).to_le_bytes(),
+        );
+        bytes += 4;
+    }
+    let far = SimTime::from_picos(u64::MAX / 2);
+    let mut popped = 0;
+    let mut popped_bytes = 0;
+    while let Some(mp) = n.pop_outgoing(far) {
+        let p = ShrimpPacket::decode(mp.payload()).unwrap();
+        popped += 1;
+        popped_bytes += p.payload().len() as u64;
+    }
+    let stats = n.stats();
+    assert_eq!(stats.packets_sent, popped);
+    assert_eq!(stats.bytes_sent, popped_bytes);
+    assert_eq!(popped_bytes, bytes);
+}

@@ -1,0 +1,67 @@
+//! Kernel-to-kernel messages.
+//!
+//! The mapping-consistency protocol of paper §4.4 ("borrowing the
+//! standard [TLB shootdown] solution") exchanges messages between node
+//! kernels. The machine model transports these values between
+//! [`crate::Kernel`]s with a configurable latency.
+
+use shrimp_mem::PageNum;
+use shrimp_mesh::NodeId;
+
+/// A message from one node kernel to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMsg {
+    /// "I am about to replace my physical frame `frame`; invalidate every
+    /// NIPT entry of yours that maps out to it and acknowledge."
+    InvalidateNipt {
+        /// The kernel asking.
+        from: NodeId,
+        /// The importer-side frame being replaced.
+        frame: PageNum,
+    },
+    /// Acknowledgement of [`KernelMsg::InvalidateNipt`].
+    InvalidateAck {
+        /// The kernel acknowledging.
+        from: NodeId,
+        /// The frame named in the request.
+        frame: PageNum,
+    },
+}
+
+impl KernelMsg {
+    /// The destination-relevant frame of the message.
+    pub fn frame(&self) -> PageNum {
+        match self {
+            KernelMsg::InvalidateNipt { frame, .. } | KernelMsg::InvalidateAck { frame, .. } => {
+                *frame
+            }
+        }
+    }
+
+    /// The sending kernel.
+    pub fn from(&self) -> NodeId {
+        match self {
+            KernelMsg::InvalidateNipt { from, .. } | KernelMsg::InvalidateAck { from, .. } => *from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = KernelMsg::InvalidateNipt {
+            from: NodeId(2),
+            frame: PageNum::new(5),
+        };
+        assert_eq!(m.frame(), PageNum::new(5));
+        assert_eq!(m.from(), NodeId(2));
+        let a = KernelMsg::InvalidateAck {
+            from: NodeId(3),
+            frame: PageNum::new(5),
+        };
+        assert_eq!(a.from(), NodeId(3));
+    }
+}

@@ -1,0 +1,110 @@
+//! Processes and address spaces.
+
+use std::fmt;
+
+use shrimp_mem::{PageTable, VirtPageNum};
+
+/// A process identifier, unique per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// One process: an address space plus allocation state.
+///
+/// The CPU context (registers, pc) lives with the machine model; the
+/// kernel only needs the memory view.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    page_table: PageTable,
+    next_vpn: VirtPageNum,
+}
+
+impl Process {
+    /// Creates an empty process. User mappings are allocated upward from
+    /// virtual page 16, leaving low pages unmapped so null-ish pointers
+    /// fault.
+    pub fn new(pid: Pid) -> Self {
+        Process {
+            pid,
+            page_table: PageTable::new(),
+            next_vpn: VirtPageNum::new(16),
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The address space.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable address space (kernel use).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Reserves `pages` consecutive virtual pages, returning the first.
+    pub fn reserve_vpns(&mut self, pages: u64) -> VirtPageNum {
+        let first = self.next_vpn;
+        self.next_vpn = VirtPageNum::new(first.raw() + pages);
+        first
+    }
+
+    /// True if `[vpn, vpn + pages)` is fully mapped.
+    pub fn range_mapped(&self, vpn: VirtPageNum, pages: u64) -> bool {
+        (0..pages).all(|i| {
+            self.page_table
+                .entry(VirtPageNum::new(vpn.raw() + i))
+                .is_some()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mem::{PageFlags, PageNum};
+
+    #[test]
+    fn vpn_reservation_is_monotonic() {
+        let mut p = Process::new(Pid(1));
+        let a = p.reserve_vpns(4);
+        let b = p.reserve_vpns(2);
+        assert_eq!(b.raw(), a.raw() + 4);
+        assert_eq!(p.pid(), Pid(1));
+    }
+
+    #[test]
+    fn range_mapped_checks_every_page() {
+        let mut p = Process::new(Pid(1));
+        let base = p.reserve_vpns(3);
+        for i in [0u64, 2] {
+            p.page_table_mut().map(
+                VirtPageNum::new(base.raw() + i),
+                PageNum::new(i),
+                PageFlags::default(),
+            );
+        }
+        assert!(!p.range_mapped(base, 3), "middle page missing");
+        p.page_table_mut().map(
+            VirtPageNum::new(base.raw() + 1),
+            PageNum::new(9),
+            PageFlags::default(),
+        );
+        assert!(p.range_mapped(base, 3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pid(7).to_string(), "pid7");
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation kernel for the SHRIMP
+//! reproduction.
+//!
+//! Every component of the simulated SHRIMP multicomputer — CPUs, buses,
+//! the network interface, the mesh backplane — advances on a single global
+//! event loop driven by the primitives in this crate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer picosecond timestamps, so all
+//!   arithmetic is exact and runs are bit-for-bit reproducible.
+//! * [`EventQueue`] — a priority queue with deterministic FIFO tie-breaking
+//!   for events scheduled at the same instant.
+//! * [`SerialResource`] and [`BandwidthResource`] — occupancy models for
+//!   one-at-a-time hardware (buses, links, DMA engines).
+//! * [`stats`] — counters and histograms used by the benchmark harness.
+//! * [`SimRng`] — a seeded ChaCha RNG so workloads are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use shrimp_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_ns(5), "later");
+//! queue.push(SimTime::ZERO, "now");
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(ev, "now");
+//! assert_eq!(t, SimTime::ZERO);
+//! ```
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use resource::{BandwidthResource, SerialResource};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLevel, Tracer};

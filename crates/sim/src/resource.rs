@@ -1,0 +1,284 @@
+//! Occupancy models for one-at-a-time hardware resources.
+//!
+//! A memory bus, a mesh link, or the NIC's single DMA engine can serve only
+//! one transaction at a time. [`SerialResource`] tracks when such a
+//! resource next becomes free and hands out back-to-back reservations;
+//! [`BandwidthResource`] layers a bytes-per-second rate on top so that
+//! transfer durations follow from payload size.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A resource that serves one request at a time (a bus, a link, a DMA
+/// engine). Requests are serialized in the order they are reserved.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{SerialResource, SimTime, SimDuration};
+///
+/// let mut bus = SerialResource::new();
+/// let a = bus.reserve(SimTime::ZERO, SimDuration::from_ns(10));
+/// let b = bus.reserve(SimTime::ZERO, SimDuration::from_ns(10));
+/// assert_eq!(a.start, SimTime::ZERO);
+/// assert_eq!(b.start, a.end); // second transaction waits for the first
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SerialResource {
+    free_at: SimTime,
+    busy_total: SimDuration,
+    grants: u64,
+}
+
+/// The time window granted to one reservation on a [`SerialResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When the resource starts serving this request.
+    pub start: SimTime,
+    /// When the resource becomes free again.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time the requester spent queued before service began.
+    pub fn queueing_delay(&self, requested_at: SimTime) -> SimDuration {
+        self.start.saturating_since(requested_at)
+    }
+
+    /// Total latency from request to completion.
+    pub fn latency(&self, requested_at: SimTime) -> SimDuration {
+        self.end.saturating_since(requested_at)
+    }
+}
+
+impl SerialResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        SerialResource::default()
+    }
+
+    /// Reserves the resource at or after `now` for `duration`, returning
+    /// the granted service window.
+    pub fn reserve(&mut self, now: SimTime, duration: SimDuration) -> Grant {
+        let start = now.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_total += duration;
+        self.grants += 1;
+        Grant { start, end }
+    }
+
+    /// The next instant at which the resource is idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// True if the resource is idle at `now`.
+    pub fn is_free(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Cumulative time spent busy.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Number of reservations granted so far.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Utilization over the window `[SimTime::ZERO, now]`, in `0.0..=1.0`.
+    /// Returns 0 when `now` is the start of the run.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_picos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        (self.busy_total.as_picos() as f64 / elapsed as f64).min(1.0)
+    }
+}
+
+/// A serialized resource with a byte rate: transfer duration is computed
+/// from payload size, plus a fixed per-transaction overhead.
+///
+/// This models the EISA bus (33 MB/s burst), the Xpress memory bus, mesh
+/// links, and DMA engines.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{BandwidthResource, SimTime};
+///
+/// // EISA burst mode: 33 MB/s, no per-transaction overhead.
+/// let mut eisa = BandwidthResource::new(33_000_000, shrimp_sim::SimDuration::ZERO);
+/// let g = eisa.transfer(SimTime::ZERO, 33_000_000);
+/// assert!((g.end.as_micros_f64() - 1_000_000.0).abs() < 1.0); // ~1 second
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthResource {
+    inner: SerialResource,
+    bytes_per_sec: u64,
+    per_transaction: SimDuration,
+    bytes_total: u64,
+}
+
+impl BandwidthResource {
+    /// Creates a resource with the given rate and fixed per-transaction
+    /// overhead (arbitration, setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64, per_transaction: SimDuration) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        BandwidthResource {
+            inner: SerialResource::new(),
+            bytes_per_sec,
+            per_transaction,
+            bytes_total: 0,
+        }
+    }
+
+    /// Reserves the resource for a transfer of `bytes`, returning the
+    /// service window.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Grant {
+        let dur = self.duration_of(bytes);
+        self.bytes_total += bytes;
+        self.inner.reserve(now, dur)
+    }
+
+    /// The service time a transfer of `bytes` would take (overhead
+    /// included), without reserving anything.
+    pub fn duration_of(&self, bytes: u64) -> SimDuration {
+        self.per_transaction + SimDuration::from_bytes_at_rate(bytes, self.bytes_per_sec)
+    }
+
+    /// Configured rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// The next instant at which the resource is idle.
+    pub fn free_at(&self) -> SimTime {
+        self.inner.free_at()
+    }
+
+    /// True if the resource is idle at `now`.
+    pub fn is_free(&self, now: SimTime) -> bool {
+        self.inner.is_free(now)
+    }
+
+    /// Total bytes transferred so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Cumulative busy time.
+    pub fn busy_total(&self) -> SimDuration {
+        self.inner.busy_total()
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.inner.utilization(now)
+    }
+
+    /// Achieved throughput over `[0, now]` in bytes/second.
+    pub fn achieved_rate(&self, now: SimTime) -> f64 {
+        let secs = now.as_picos() as f64 / 1e12;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_total as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_ns(n)
+    }
+
+    #[test]
+    fn serial_resource_serializes_back_to_back() {
+        let mut r = SerialResource::new();
+        let a = r.reserve(SimTime::ZERO, ns(10));
+        let b = r.reserve(SimTime::ZERO, ns(5));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::ZERO + ns(10));
+        assert_eq!(b.start, a.end);
+        assert_eq!(b.end, a.end + ns(5));
+        assert_eq!(r.grants(), 2);
+        assert_eq!(r.busy_total(), ns(15));
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let mut r = SerialResource::new();
+        r.reserve(SimTime::ZERO, ns(10));
+        // Next request arrives after the resource went idle.
+        let g = r.reserve(SimTime::ZERO + ns(100), ns(10));
+        assert_eq!(g.start, SimTime::ZERO + ns(100));
+        assert!(r.is_free(SimTime::ZERO + ns(200)));
+        assert!(!r.is_free(SimTime::ZERO + ns(105)));
+    }
+
+    #[test]
+    fn grant_delay_accounting() {
+        let mut r = SerialResource::new();
+        r.reserve(SimTime::ZERO, ns(10));
+        let g = r.reserve(SimTime::ZERO + ns(2), ns(4));
+        assert_eq!(g.queueing_delay(SimTime::ZERO + ns(2)), ns(8));
+        assert_eq!(g.latency(SimTime::ZERO + ns(2)), ns(12));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut r = SerialResource::new();
+        r.reserve(SimTime::ZERO, ns(10));
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+        let u = r.utilization(SimTime::ZERO + ns(20));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert!(r.utilization(SimTime::ZERO + ns(5)) <= 1.0);
+    }
+
+    #[test]
+    fn bandwidth_duration_includes_overhead() {
+        let r = BandwidthResource::new(1_000_000_000, ns(7)); // 1 GB/s
+        // 1000 bytes at 1 GB/s is 1 us, plus 7 ns overhead.
+        let d = r.duration_of(1000);
+        assert_eq!(d, ns(7) + SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn eisa_rate_reproduces_33_mbs() {
+        let mut eisa = BandwidthResource::new(33_000_000, SimDuration::ZERO);
+        let start = SimTime::ZERO;
+        let g = eisa.transfer(start, 4096);
+        let us = g.end.since(start).as_micros_f64();
+        // 4096 / 33e6 s = 124.12 us
+        assert!((us - 124.12).abs() < 0.01, "got {us}");
+        assert_eq!(eisa.bytes_total(), 4096);
+    }
+
+    #[test]
+    fn achieved_rate_approaches_configured_rate_under_saturation() {
+        let mut r = BandwidthResource::new(50_000_000, SimDuration::ZERO);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let g = r.transfer(now, 8192);
+            now = g.end;
+        }
+        let rate = r.achieved_rate(now);
+        assert!((rate - 50_000_000.0).abs() / 50_000_000.0 < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        BandwidthResource::new(0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! Lightweight event tracing.
+//!
+//! Components record [`TraceEvent`]s into a [`Tracer`]; tests and the
+//! benchmark harness inspect the trace to verify protocol behaviour (e.g.
+//! "the NIC stopped accepting packets while the Incoming FIFO was over its
+//! threshold") without adding observable state to the components
+//! themselves.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity / verbosity class of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume per-transaction detail (bus writes, flit hops).
+    Debug,
+    /// Normal protocol milestones (packet sent, DMA started).
+    Info,
+    /// Unusual but handled conditions (FIFO threshold crossed, retry).
+    Warn,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Severity class.
+    pub level: TraceLevel,
+    /// Short component tag, e.g. `"nic0"`, `"mesh"`.
+    pub component: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {:?} {}] {}",
+            self.time, self.level, self.component, self.message
+        )
+    }
+}
+
+/// Collects trace events at or above a minimum level.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{Tracer, TraceLevel, SimTime};
+///
+/// let mut tracer = Tracer::new(TraceLevel::Info);
+/// tracer.record(SimTime::ZERO, TraceLevel::Debug, "bus", "ignored".into());
+/// tracer.record(SimTime::ZERO, TraceLevel::Info, "nic", "packet sent".into());
+/// assert_eq!(tracer.events().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    min_level: TraceLevel,
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates a tracer that keeps events at or above `min_level`.
+    pub fn new(min_level: TraceLevel) -> Self {
+        Tracer {
+            min_level,
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a tracer that records nothing (zero overhead beyond the
+    /// level check).
+    pub fn disabled() -> Self {
+        Tracer {
+            min_level: TraceLevel::Warn,
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Records an event if tracing is enabled and the level qualifies.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        component: &'static str,
+        message: String,
+    ) {
+        if self.enabled && level >= self.min_level {
+            self.events.push(TraceEvent {
+                time,
+                level,
+                component,
+                message,
+            });
+        }
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events from one component.
+    pub fn events_for<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// True if any recorded message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.events.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Whether this tracer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::new(TraceLevel::Info);
+        t.record(SimTime::ZERO, TraceLevel::Debug, "a", "low".into());
+        t.record(SimTime::ZERO, TraceLevel::Info, "a", "mid".into());
+        t.record(SimTime::ZERO, TraceLevel::Warn, "a", "high".into());
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, TraceLevel::Warn, "a", "x".into());
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn component_filter_and_contains() {
+        let mut t = Tracer::new(TraceLevel::Debug);
+        t.record(SimTime::ZERO, TraceLevel::Info, "nic0", "packet sent".into());
+        t.record(SimTime::ZERO, TraceLevel::Info, "nic1", "packet recv".into());
+        assert_eq!(t.events_for("nic0").count(), 1);
+        assert!(t.contains("recv"));
+        assert!(!t.contains("dropped"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_formats_fields() {
+        let e = TraceEvent {
+            time: SimTime::ZERO,
+            level: TraceLevel::Warn,
+            component: "fifo",
+            message: "threshold crossed".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fifo"));
+        assert!(s.contains("threshold crossed"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Multiprogramming with protection (paper Figure 3 and §1): two
+//! unrelated parallel jobs share the same two nodes. Each has its own
+//! mappings; neither can touch the other's memory; context switches need
+//! no NIC involvement because the NIPT maps *physical* pages.
+//!
+//! ```text
+//! cargo run --example multiprogramming
+//! ```
+
+use shrimp::mesh::NodeId;
+use shrimp::nic::UpdatePolicy;
+use shrimp::{Machine, MachineConfig, MachineError, MapRequest};
+
+fn main() -> Result<(), MachineError> {
+    let mut m = Machine::new(MachineConfig::two_nodes());
+
+    // Job "gray" and job "black" (the paper's Figure 3), one process of
+    // each on both nodes.
+    let gray0 = m.create_process(NodeId(0));
+    let gray1 = m.create_process(NodeId(1));
+    let black0 = m.create_process(NodeId(0));
+    let black1 = m.create_process(NodeId(1));
+
+    let connect = |m: &mut Machine, src_pid, dst_pid, tag: u32| -> Result<_, MachineError> {
+        let send = m.alloc_pages(NodeId(0), src_pid, 1)?;
+        let recv = m.alloc_pages(NodeId(1), dst_pid, 1)?;
+        // The export admits only node 0 — and belongs to this job's
+        // receiving process alone.
+        let export = m.export_buffer(NodeId(1), dst_pid, recv, 1, Some(NodeId(0)))?;
+        m.map(MapRequest {
+            src_node: NodeId(0),
+            src_pid,
+            src_va: send,
+            dst_node: NodeId(1),
+            export,
+            dst_offset: 0,
+            len: 4096,
+            policy: UpdatePolicy::AutomaticSingle,
+        })?;
+        m.poke(NodeId(0), src_pid, send, &tag.to_le_bytes())?;
+        Ok((send, recv, export))
+    };
+
+    let (_, gray_recv, _) = connect(&mut m, gray0, gray1, 0x6a6a_6a6a)?;
+    let (_, black_recv, black_export) = connect(&mut m, black0, black1, 0xb1b1_b1b1)?;
+    m.run_until_idle()?;
+
+    // Each job sees exactly its own data.
+    let g = m.peek(NodeId(1), gray1, gray_recv, 4)?;
+    let b = m.peek(NodeId(1), black1, black_recv, 4)?;
+    assert_eq!(g, 0x6a6a_6a6au32.to_le_bytes());
+    assert_eq!(b, 0xb1b1_b1b1u32.to_le_bytes());
+    println!("gray job delivered {g:02x?}, black job delivered {b:02x?} — no interference");
+
+    // Protection across address spaces: the same virtual address in
+    // gray1's address space names gray's page, not black's — gray can
+    // never observe black's data.
+    let through_gray = m.peek(NodeId(1), gray1, black_recv, 4)?;
+    assert_eq!(through_gray, 0x6a6a_6a6au32.to_le_bytes());
+    // ...and gray0 cannot map over black's export: it belongs to black1,
+    // which only exported it once; a second sender is caught by the
+    // kernel's protection check when the export names a different node —
+    // here we show the length check instead.
+    let gray_spare = m.alloc_pages(NodeId(0), gray0, 2)?;
+    let refused = m.map(MapRequest {
+        src_node: NodeId(0),
+        src_pid: gray0,
+        src_va: gray_spare,
+        dst_node: NodeId(1),
+        export: black_export,
+        dst_offset: 4096, // past the 1-page export
+        len: 4096,
+        policy: UpdatePolicy::AutomaticSingle,
+    });
+    assert!(refused.is_err(), "the kernel must refuse an over-long mapping");
+    println!("kernel refused gray's attempt to map past black's export: {}", refused.unwrap_err());
+
+    // Unmapped stores never reach the network: a write to gray's own
+    // private page is snooped and ignored by the NIC.
+    let before = m.nic_stats(NodeId(0)).packets_sent;
+    let private = m.alloc_pages(NodeId(0), gray0, 1)?;
+    m.poke(NodeId(0), gray0, private, &7u32.to_le_bytes())?;
+    m.run_until_idle()?;
+    assert_eq!(m.nic_stats(NodeId(0)).packets_sent, before);
+    println!("a store to a private page produced no network traffic");
+
+    println!(
+        "context switches between the jobs required no NIC state change: \
+         the NIPT maps physical pages (paper section 3.1)"
+    );
+    Ok(())
+}
