@@ -138,17 +138,16 @@ impl BaselineMachine {
         // Wire: one packet through the mesh (kernel-level protocols
         // fragment large messages, but fragmentation does not change who
         // wins, so one packet per message keeps the model simple).
-        let packet = MeshPacket::new(src, dst, vec![0u8; len.min(60_000) as usize]);
+        let mut packet = MeshPacket::new(src, dst, vec![0u8; len.min(60_000) as usize]);
         let wire_start = t;
-        let mut injected = self.mesh.try_inject(t, packet.clone());
-        while !injected {
+        while let Err(refused) = self.mesh.try_inject(t, packet) {
+            packet = refused;
             let next = self
                 .mesh
                 .next_event_time()
                 .expect("blocked injection implies pending events");
             self.mesh.advance(next);
             t = t.max(next);
-            injected = self.mesh.try_inject(t, packet.clone());
         }
         let arrival = loop {
             match self.mesh.eject(dst) {

@@ -41,10 +41,9 @@ fn run(shape: MeshShape, pattern: TrafficPattern, interval: SimDuration, seed: u
         net.advance(t);
         for node in shape.iter_nodes() {
             while net.eject(node).is_some() {}
-            while let Some(p) = queues[node.0 as usize].front() {
-                if net.try_inject(t.max(net.now()), p.clone()) {
-                    queues[node.0 as usize].pop_front();
-                } else {
+            while let Some(p) = queues[node.0 as usize].pop_front() {
+                if let Err(refused) = net.try_inject(t.max(net.now()), p) {
+                    queues[node.0 as usize].push_front(refused);
                     break;
                 }
             }

@@ -1,0 +1,243 @@
+//! Simulator throughput benchmark: wall-clock events/sec and
+//! simulated-bytes/sec on the paper's bandwidth and latency workloads.
+//!
+//! Unlike the other bench binaries (which regenerate *paper* numbers),
+//! this one measures the *simulator itself*, so perf PRs have a tracked
+//! trajectory. Results are printed and written to `BENCH_simspeed.json`
+//! in the current directory.
+//!
+//! ```text
+//! cargo run --release -p shrimp-bench --bin simspeed
+//! ```
+
+use std::time::Instant;
+
+use shrimp_bench::banner;
+use shrimp_core::{Machine, MachineConfig, MapRequest};
+use shrimp_cpu::Reg;
+use shrimp_mem::PAGE_SIZE;
+use shrimp_mesh::{MeshShape, NodeId};
+use shrimp_nic::UpdatePolicy;
+
+/// Per-workload measurement.
+struct Sample {
+    name: &'static str,
+    wall_seconds: f64,
+    events: u64,
+    sim_bytes: u64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+    fn sim_bytes_per_sec(&self) -> f64 {
+        self.sim_bytes as f64 / self.wall_seconds
+    }
+}
+
+struct Sender {
+    m: Machine,
+    s: shrimp_os::Pid,
+    data_va: shrimp_mem::VirtAddr,
+    cmd_delta: u32,
+}
+
+/// Two-node machine with `pages` mapped from node 0 to node 1 under
+/// `policy` (same shape as the §5.1 bandwidth experiment).
+fn sender_setup(cfg: MachineConfig, pages: u64, policy: UpdatePolicy) -> Sender {
+    let snd = NodeId(0);
+    let rcv = NodeId(1);
+    let mut m = Machine::new(cfg);
+    let s = m.create_process(snd);
+    let r = m.create_process(rcv);
+    let data_va = m.alloc_pages(snd, s, pages).expect("alloc send");
+    let rcv_va = m.alloc_pages(rcv, r, pages).expect("alloc recv");
+    let export = m
+        .export_buffer(rcv, r, rcv_va, pages, Some(snd))
+        .expect("export");
+    m.map(MapRequest {
+        src_node: snd,
+        src_pid: s,
+        src_va: data_va,
+        dst_node: rcv,
+        export,
+        dst_offset: 0,
+        len: pages * PAGE_SIZE,
+        policy,
+    })
+    .expect("map");
+    let mut cmd_delta = 0u32;
+    for p in 0..pages {
+        let cmd = m
+            .map_command_page(snd, s, data_va.add(p * PAGE_SIZE))
+            .expect("command page");
+        if p == 0 {
+            cmd_delta = (cmd.raw() - data_va.raw()) as u32;
+        }
+    }
+    let payload: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
+    m.poke(snd, s, data_va, &payload).expect("fill");
+    m.run_until_idle().expect("quiesce after fill");
+    m.clear_deliveries();
+    Sender {
+        m,
+        s,
+        data_va,
+        cmd_delta,
+    }
+}
+
+/// Deliberate-update streaming of `bytes` (DMA bandwidth workload).
+fn bandwidth_workload(bytes: u64) -> Sample {
+    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 1));
+    let pages = bytes.div_ceil(PAGE_SIZE);
+    // Paper configs keep nodes at 1 MB to stay test-sized; this workload
+    // streams more, so widen the physical memory (data + command pages).
+    cfg.pages_per_node = 4 * pages.max(256);
+    let mut w = sender_setup(cfg, pages, UpdatePolicy::Deliberate);
+    let program = shrimp_core::msglib::deliberate_stream_program();
+    w.m.load_program(NodeId(0), w.s, program);
+    w.m.set_reg(NodeId(0), w.s, Reg::R5, w.data_va.raw() as u32);
+    w.m.set_reg(NodeId(0), w.s, Reg::R7, w.cmd_delta);
+    w.m.set_reg(NodeId(0), w.s, Reg::R3, pages as u32);
+    w.m.set_reg(NodeId(0), w.s, Reg::R2, (PAGE_SIZE / 4) as u32);
+    w.m.set_reg(NodeId(0), w.s, Reg::R4, (PAGE_SIZE / 4) as u32);
+
+    let ev0 = w.m.events_processed();
+    let wall = Instant::now();
+    w.m.start(NodeId(0), w.s);
+    w.m.run_until_idle().expect("stream must drain");
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let delivered: u64 = w.m.deliveries().iter().map(|d| d.len).sum();
+    assert_eq!(delivered, pages * PAGE_SIZE, "every byte must arrive");
+    Sample {
+        name: "bandwidth",
+        wall_seconds,
+        events: w.m.events_processed() - ev0,
+        sim_bytes: delivered,
+    }
+}
+
+/// Blocked-write automatic-update streaming (snoop-path workload: every
+/// word crosses the snoop, merge and packetization path).
+fn blocked_write_workload(bytes: u64) -> Sample {
+    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 1));
+    let pages = bytes.div_ceil(PAGE_SIZE);
+    cfg.pages_per_node = 4 * pages.max(256);
+    let mut w = sender_setup(cfg, pages, UpdatePolicy::AutomaticBlocked);
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 241) as u8).collect();
+
+    let ev0 = w.m.events_processed();
+    let wall = Instant::now();
+    w.m.poke(NodeId(0), w.s, w.data_va, &data).expect("stores");
+    w.m.run_until_idle().expect("stream must drain");
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let delivered: u64 = w.m.deliveries().iter().map(|d| d.len).sum();
+    assert_eq!(delivered, bytes, "every byte must arrive");
+    Sample {
+        name: "blocked_write",
+        wall_seconds,
+        events: w.m.events_processed() - ev0,
+        sim_bytes: delivered,
+    }
+}
+
+/// Repeated single-word automatic updates across a 4×4 mesh (latency
+/// workload: event-loop and per-packet overhead dominated).
+fn latency_workload(rounds: u64) -> Sample {
+    let cfg = MachineConfig::prototype(MeshShape::new(4, 4));
+    let src_node = NodeId(0);
+    let dst_node = NodeId(15);
+    let mut m = Machine::new(cfg);
+    let s = m.create_process(src_node);
+    let r = m.create_process(dst_node);
+    let src = m.alloc_pages(src_node, s, 1).expect("alloc");
+    let rcv = m.alloc_pages(dst_node, r, 1).expect("alloc");
+    let export = m
+        .export_buffer(dst_node, r, rcv, 1, Some(src_node))
+        .expect("export");
+    m.map(MapRequest {
+        src_node,
+        src_pid: s,
+        src_va: src,
+        dst_node,
+        export,
+        dst_offset: 0,
+        len: PAGE_SIZE,
+        policy: UpdatePolicy::AutomaticSingle,
+    })
+    .expect("map");
+
+    let ev0 = m.events_processed();
+    let wall = Instant::now();
+    for i in 0..rounds {
+        let off = (i % (PAGE_SIZE / 4)) * 4;
+        m.poke(src_node, s, src.add(off), &(i as u32).to_le_bytes())
+            .expect("store");
+        m.run_until_idle().expect("quiesce");
+    }
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let delivered: u64 = m.deliveries().iter().map(|d| d.len).sum();
+    assert_eq!(delivered, rounds * 4, "every word must arrive");
+    Sample {
+        name: "latency",
+        wall_seconds,
+        events: m.events_processed() - ev0,
+        sim_bytes: delivered,
+    }
+}
+
+fn json_field(s: &Sample) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"events\": {},\n",
+            "    \"events_per_sec\": {:.1},\n",
+            "    \"sim_bytes\": {},\n",
+            "    \"sim_bytes_per_sec\": {:.1}\n",
+            "  }}"
+        ),
+        s.name,
+        s.wall_seconds,
+        s.events,
+        s.events_per_sec(),
+        s.sim_bytes,
+        s.sim_bytes_per_sec(),
+    )
+}
+
+fn main() {
+    banner("simspeed: simulator wall-clock throughput");
+
+    // Warm up allocator and caches with a small run before measuring.
+    let _ = bandwidth_workload(64 * PAGE_SIZE);
+
+    let samples = [
+        bandwidth_workload(4096 * PAGE_SIZE),
+        blocked_write_workload(768 * PAGE_SIZE),
+        latency_workload(20_000),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>12} {:>16}",
+        "workload", "wall s", "events", "events/s", "sim bytes", "sim bytes/s"
+    );
+    for s in &samples {
+        println!(
+            "{:<14} {:>10.4} {:>12} {:>14.0} {:>12} {:>16.0}",
+            s.name,
+            s.wall_seconds,
+            s.events,
+            s.events_per_sec(),
+            s.sim_bytes,
+            s.sim_bytes_per_sec(),
+        );
+    }
+
+    let body = samples.iter().map(json_field).collect::<Vec<_>>().join(",\n");
+    let json = format!("{{\n{body}\n}}\n");
+    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
+    println!("\nwrote BENCH_simspeed.json");
+}

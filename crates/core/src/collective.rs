@@ -340,8 +340,7 @@ mod tests {
         let b = Broadcast::establish(&mut m, &members).unwrap();
         let data: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
         b.send(&mut m, &data).unwrap();
-        for i in 0..7 {
-            let member = members[i];
+        for (i, member) in members.iter().enumerate() {
             let got = m.peek(member.node, member.pid, b.page_of(i), 256).unwrap();
             assert_eq!(got, data, "member {i}");
         }

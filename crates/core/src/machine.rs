@@ -28,7 +28,7 @@ use shrimp_mem::{
     XpressBus, PAGE_SIZE, WORD_SIZE,
 };
 use shrimp_mesh::{MeshNetwork, NodeId};
-use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, UpdatePolicy};
+use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, Payload, ShrimpPacket, UpdatePolicy};
 use shrimp_os::kernel::OutgoingRecord;
 use shrimp_os::{ExportId, Kernel, KernelMsg, OsError, Pid, RoundRobin, SchedDecision};
 use shrimp_sim::{EventQueue, SimDuration, SimTime};
@@ -85,7 +85,7 @@ enum Event {
     NicHousekeep { node: u16 },
     DrainOutgoing { node: u16 },
     PopIncoming { node: u16 },
-    DmaComplete { node: u16, addr: PhysAddr, data: Vec<u8> },
+    DmaComplete { node: u16, addr: PhysAddr, data: Payload },
     KernelMsg { node: u16, msg: KernelMsg },
 }
 
@@ -153,7 +153,7 @@ struct Registration {
 pub struct Machine {
     config: MachineConfig,
     nodes: Vec<NodeState>,
-    mesh: MeshNetwork,
+    mesh: MeshNetwork<ShrimpPacket>,
     events: EventQueue<Event>,
     now: SimTime,
     registrations: Vec<Registration>,
@@ -162,6 +162,7 @@ pub struct Machine {
     syscall_log: Vec<(SimTime, NodeId, Pid, u32)>,
     delivery_log: Vec<DeliveryRecord>,
     drop_log: Vec<(SimTime, NodeId, NicError)>,
+    events_processed: u64,
 }
 
 impl Machine {
@@ -200,7 +201,9 @@ impl Machine {
             config,
             nodes,
             mesh: MeshNetwork::new(config.mesh),
-            events: EventQueue::new(),
+            // Steady-state event volume scales with node count; a
+            // generous initial capacity avoids heap churn mid-run.
+            events: EventQueue::with_capacity(256 * shape.nodes().max(1) as usize),
             now: SimTime::ZERO,
             registrations: Vec::new(),
             next_mapping: 1,
@@ -208,7 +211,14 @@ impl Machine {
             syscall_log: Vec::new(),
             delivery_log: Vec::new(),
             drop_log: Vec::new(),
+            events_processed: 0,
         }
+    }
+
+    /// Number of discrete events handled since construction; a measure of
+    /// simulator work, independent of wall-clock (used by `simspeed`).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// The configuration in force.
@@ -761,6 +771,7 @@ impl Machine {
     }
 
     fn handle(&mut self, t: SimTime, ev: Event) {
+        self.events_processed += 1;
         match ev {
             Event::CpuStep { node } => self.cpu_step(t, NodeId(node)),
             Event::NicHousekeep { node } => {
@@ -876,8 +887,10 @@ impl Machine {
             let n = &mut self.nodes[node.0 as usize];
             match n.nic.pop_outgoing(t) {
                 Some(pkt) => {
-                    let ok = self.mesh.try_inject(t, pkt);
-                    debug_assert!(ok, "can_inject checked above");
+                    if self.mesh.try_inject(t, pkt).is_err() {
+                        debug_assert!(false, "can_inject checked above");
+                        break;
+                    }
                 }
                 None => break,
             }
@@ -960,8 +973,8 @@ impl Machine {
             }
             n.sched.tick(t)
         };
-        let pid = match decision {
-            SchedDecision::Run { pid, .. } => pid,
+        let (pid, until) = match decision {
+            SchedDecision::Run { pid, until } => (pid, until),
             SchedDecision::Idle => return,
         };
         {
@@ -1009,7 +1022,34 @@ impl Machine {
                 walk_latency,
                 pages_per_node,
             };
-            cpu.step(t, &mut bus)
+            // Batch a quantum of instructions into this one event. Only
+            // register-only instructions (no bus transaction, no trap,
+            // no halt) may run after the first: the batch breaks BEFORE
+            // any bus-visible instruction so it executes at its own
+            // event, after any intermediate events (DMA completions,
+            // deliveries) the unbatched loop would have processed first.
+            // A non-`Ran` result can therefore only come from the first
+            // instruction, at time `t`.
+            const CPU_BATCH: u32 = 32;
+            let mut now = t;
+            let mut steps = 0u32;
+            loop {
+                let r = cpu.step(now, &mut bus);
+                steps += 1;
+                if let StepResult::Ran { completes_at } = r {
+                    now = completes_at;
+                    if steps < CPU_BATCH
+                        && completes_at < until
+                        && cpu
+                            .program()
+                            .fetch(cpu.pc())
+                            .is_some_and(|i| i.is_register_only())
+                    {
+                        continue;
+                    }
+                }
+                break r;
+            }
         };
         let halted = cpu.is_halted();
         self.nodes[node.0 as usize].cpus.insert(pid, cpu);

@@ -131,6 +131,15 @@ impl Instr {
                 | Instr::StImm { .. }
         )
     }
+
+    /// True for instructions that complete entirely inside the CPU core:
+    /// no memory-bus transaction, no kernel trap, no halt. The event
+    /// loop batches consecutive register-only instructions into one
+    /// quantum; anything bus-visible must execute as its own event so
+    /// NIC snooping and DMA interleaving keep their unbatched timing.
+    pub fn is_register_only(&self) -> bool {
+        !self.touches_memory() && !matches!(self, Instr::Syscall { .. } | Instr::Halt)
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +161,15 @@ mod tests {
         assert!(Instr::CmpXchg { base: Reg::R1, offset: 0, src: Reg::R2 }.touches_memory());
         assert!(!Instr::Add { rd: Reg::R1, rs: Reg::R2 }.touches_memory());
         assert!(!Instr::Halt.touches_memory());
+    }
+
+    #[test]
+    fn register_only_excludes_bus_and_control_traps() {
+        assert!(Instr::Add { rd: Reg::R1, rs: Reg::R2 }.is_register_only());
+        assert!(Instr::Jmp { target: 0 }.is_register_only());
+        assert!(Instr::Nop.is_register_only());
+        assert!(!Instr::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }.is_register_only());
+        assert!(!Instr::Syscall { code: 1 }.is_register_only());
+        assert!(!Instr::Halt.is_register_only());
     }
 }

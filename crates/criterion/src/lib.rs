@@ -1,0 +1,127 @@
+//! Vendored subset of the `criterion` crate.
+//!
+//! The build container cannot reach a crates.io mirror, so this crate
+//! provides just enough of criterion's API for `benches/micro.rs` to
+//! compile and produce useful numbers: `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. There is no statistical
+//! analysis — each benchmark is timed over a fixed-duration measurement
+//! loop and the mean ns/iter is printed.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(200);
+
+/// How a batched benchmark's setup output is grouped; accepted for API
+/// compatibility, ignored by this harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < MEASURE_FOR {
+            std::hint::black_box(routine());
+            n += 1;
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the
+    /// routine is counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut n = 0u64;
+        let begin = Instant::now();
+        while begin.elapsed() < MEASURE_FOR {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            n += 1;
+        }
+        self.iters = n;
+        self.elapsed = measured;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<32} {per_iter:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as a single runnable function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

@@ -24,12 +24,12 @@
 //! use shrimp_mesh::{MeshConfig, MeshNetwork, MeshPacket, MeshShape, NodeId};
 //! use shrimp_sim::SimTime;
 //!
-//! let mut net = MeshNetwork::new(MeshConfig::paragon(MeshShape::new(4, 4)));
+//! let mut net: MeshNetwork = MeshNetwork::new(MeshConfig::paragon(MeshShape::new(4, 4)));
 //! let pkt = MeshPacket::new(NodeId(0), NodeId(15), vec![1, 2, 3, 4]);
-//! assert!(net.try_inject(SimTime::ZERO, pkt));
+//! assert!(net.try_inject(SimTime::ZERO, pkt).is_ok());
 //! net.advance(SimTime::from_picos(u64::MAX / 2));
 //! let (delivered, _arrival) = net.eject(NodeId(15)).expect("packet must arrive");
-//! assert_eq!(delivered.payload(), &[1, 2, 3, 4]);
+//! assert_eq!(&delivered.payload()[..], &[1, 2, 3, 4]);
 //! ```
 
 pub mod config;
@@ -39,5 +39,5 @@ pub mod topology;
 
 pub use config::MeshConfig;
 pub use network::{MeshNetwork, NetworkStats};
-pub use packet::MeshPacket;
+pub use packet::{MeshPacket, MeshPayload};
 pub use topology::{Direction, MeshCoord, MeshShape, NodeId};

@@ -14,10 +14,11 @@
 
 use std::collections::VecDeque;
 
+use bytes::Bytes;
 use shrimp_sim::{EventQueue, Histogram, SimDuration, SimTime};
 
 use crate::config::MeshConfig;
-use crate::packet::MeshPacket;
+use crate::packet::{MeshPacket, MeshPayload};
 use crate::topology::{Direction, MeshShape, NodeId};
 
 const PORT_INJECT: usize = 4;
@@ -59,8 +60,8 @@ struct RouterState {
 }
 
 #[derive(Debug)]
-struct InFlight {
-    packet: MeshPacket,
+struct InFlight<P> {
+    packet: MeshPacket<P>,
     injected_at: SimTime,
     hops: u16,
     /// When the packet's tail arrives wherever its head currently is.
@@ -73,7 +74,7 @@ struct InFlight {
 }
 
 /// Aggregate statistics of a [`MeshNetwork`] run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Packets handed to [`MeshNetwork::try_inject`] and accepted.
     pub packets_injected: u64,
@@ -88,18 +89,21 @@ pub struct NetworkStats {
     pub hops: Histogram,
 }
 
-/// The simulated routing backplane.
+/// The simulated routing backplane, generic over the payload type its
+/// packets carry (raw [`Bytes`] by default; the full machine instantiates
+/// it with the NIC's structured packet so nothing is re-serialized at the
+/// mesh boundary).
 ///
 /// Drive it with [`MeshNetwork::try_inject`], [`MeshNetwork::advance`] and
 /// [`MeshNetwork::eject`]; see the crate docs for an end-to-end example.
 #[derive(Debug)]
-pub struct MeshNetwork {
+pub struct MeshNetwork<P = Bytes> {
     config: MeshConfig,
     shape: MeshShape,
     routers: Vec<RouterState>,
     /// `free_at` per directed link, indexed `node * 4 + direction`.
     link_free_at: Vec<SimTime>,
-    packets: Vec<Option<InFlight>>,
+    packets: Vec<Option<InFlight<P>>>,
     events: EventQueue<Event>,
     now: SimTime,
     in_flight: usize,
@@ -109,7 +113,7 @@ pub struct MeshNetwork {
     stats: NetworkStats,
 }
 
-impl MeshNetwork {
+impl<P: MeshPayload> MeshNetwork<P> {
     /// Creates an idle backplane.
     ///
     /// # Panics
@@ -167,20 +171,24 @@ impl MeshNetwork {
     }
 
     /// Offers a packet to `node`'s injection port at time `now`.
-    /// Returns `false` (and drops nothing; the caller keeps the packet) if
-    /// the injection buffer is full.
+    /// Returns the packet back as `Err` if the injection buffer is full,
+    /// so callers retry without cloning it every pump.
     ///
     /// # Panics
     ///
     /// Panics if the packet's source or destination is off-mesh, or if
     /// `now` is earlier than events already processed.
-    pub fn try_inject(&mut self, now: SimTime, packet: MeshPacket) -> bool {
+    pub fn try_inject(
+        &mut self,
+        now: SimTime,
+        packet: MeshPacket<P>,
+    ) -> Result<(), MeshPacket<P>> {
         assert!(self.shape.contains(packet.src()), "source off mesh");
         assert!(self.shape.contains(packet.dst()), "destination off mesh");
         assert!(now >= self.now, "injection in the past");
         let node = packet.src();
         if !self.can_inject(node) {
-            return false;
+            return Err(packet);
         }
         let id = self.packets.len();
         self.packets.push(Some(InFlight {
@@ -195,7 +203,7 @@ impl MeshNetwork {
             .queue
             .push_back(id);
         self.schedule_retry(node, now);
-        true
+        Ok(())
     }
 
     /// Processes all internal events up to and including `until`.
@@ -249,7 +257,7 @@ impl MeshNetwork {
     /// Pulls the next delivered packet (and its arrival time) from `node`'s
     /// ejection buffer. Pulling frees a slot, which may restart a stalled
     /// upstream pipeline.
-    pub fn eject(&mut self, node: NodeId) -> Option<(MeshPacket, SimTime)> {
+    pub fn eject(&mut self, node: NodeId) -> Option<(MeshPacket<P>, SimTime)> {
         let (id, arrival) = self.routers[node.0 as usize].ejection.pop_front()?;
         let inflight = self.packets[id].take().expect("ejected packet must exist");
         self.in_flight -= 1;
@@ -423,7 +431,7 @@ mod tests {
     #[test]
     fn delivers_across_the_mesh() {
         let mut n = net(4, 4);
-        assert!(n.try_inject(SimTime::ZERO, pkt(0, 15, 32)));
+        assert!(n.try_inject(SimTime::ZERO, pkt(0, 15, 32)).is_ok());
         let got = drain(&mut n, NodeId(15));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0.payload().len(), 32);
@@ -436,7 +444,7 @@ mod tests {
     #[test]
     fn self_send_ejects_locally() {
         let mut n = net(2, 2);
-        assert!(n.try_inject(SimTime::ZERO, pkt(1, 1, 8)));
+        assert!(n.try_inject(SimTime::ZERO, pkt(1, 1, 8)).is_ok());
         let got = drain(&mut n, NodeId(1));
         assert_eq!(got.len(), 1);
         assert_eq!(n.stats().hops.max(), Some(0));
@@ -448,7 +456,7 @@ mod tests {
         let mut lat = Vec::new();
         for dst in [1u16, 2, 3, 4, 5, 6, 7] {
             let mut n = net(8, 1);
-            n.try_inject(SimTime::ZERO, pkt(0, dst, 16));
+            n.try_inject(SimTime::ZERO, pkt(0, dst, 16)).unwrap();
             let got = drain(&mut n, NodeId(dst));
             lat.push(got[0].1.as_picos());
         }
@@ -466,14 +474,15 @@ mod tests {
     fn inject_with_progress(
         n: &mut MeshNetwork,
         now: &mut SimTime,
-        p: MeshPacket,
+        mut p: MeshPacket,
         sink: NodeId,
         got: &mut Vec<(MeshPacket, SimTime)>,
     ) {
         loop {
             n.advance(*now);
-            if n.try_inject(*now, p.clone()) {
-                return;
+            match n.try_inject(*now, p) {
+                Ok(()) => return,
+                Err(refused) => p = refused,
             }
             if let Some(next) = n.next_event_time() {
                 n.advance(next);
@@ -507,7 +516,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for i in 0..10u8 {
             loop {
-                if n.try_inject(now, MeshPacket::new(NodeId(0), NodeId(3), vec![i; 64])) {
+                if n.try_inject(now, MeshPacket::new(NodeId(0), NodeId(3), vec![i; 64])).is_ok() {
                     break;
                 }
                 let next = n.next_event_time().unwrap();
@@ -526,8 +535,8 @@ mod tests {
         let mut n = MeshNetwork::new(MeshConfig::constrained(MeshShape::new(2, 1)));
         // Capacity 1: the first packet sits in the injection buffer until
         // forwarded; a second immediate injection must be refused.
-        assert!(n.try_inject(SimTime::ZERO, pkt(0, 1, 900)));
-        assert!(!n.can_inject(NodeId(0)) || n.try_inject(SimTime::ZERO, pkt(0, 1, 900)));
+        assert!(n.try_inject(SimTime::ZERO, pkt(0, 1, 900)).is_ok());
+        assert!(!n.can_inject(NodeId(0)) || n.try_inject(SimTime::ZERO, pkt(0, 1, 900)).is_ok());
         drain(&mut n, NodeId(1));
     }
 
@@ -539,7 +548,7 @@ mod tests {
         // Never eject at node 1. Buffers: inject(1) + input(1) + eject(1).
         for _ in 0..50 {
             n.advance(now);
-            if n.try_inject(now, pkt(0, 1, 100)) {
+            if n.try_inject(now, pkt(0, 1, 100)).is_ok() {
                 accepted += 1;
             }
             now += SimDuration::from_us(10);
@@ -562,12 +571,12 @@ mod tests {
         // is shared. Compare against node 1 sending alone.
         let payload = 1750; // 10 us serialization at 175 MB/s
         let mut solo = net(4, 1);
-        solo.try_inject(SimTime::ZERO, pkt(1, 3, payload));
+        solo.try_inject(SimTime::ZERO, pkt(1, 3, payload)).unwrap();
         let t_solo = drain(&mut solo, NodeId(3))[0].1;
 
         let mut shared = net(4, 1);
-        shared.try_inject(SimTime::ZERO, pkt(0, 3, payload));
-        shared.try_inject(SimTime::ZERO, pkt(1, 3, payload));
+        shared.try_inject(SimTime::ZERO, pkt(0, 3, payload)).unwrap();
+        shared.try_inject(SimTime::ZERO, pkt(1, 3, payload)).unwrap();
         let got = drain(&mut shared, NodeId(3));
         assert_eq!(got.len(), 2);
         let last = got.iter().map(|d| d.1).max().unwrap();
@@ -580,7 +589,7 @@ mod tests {
     #[test]
     fn stats_account_for_traffic() {
         let mut n = net(3, 3);
-        n.try_inject(SimTime::ZERO, pkt(0, 8, 100));
+        n.try_inject(SimTime::ZERO, pkt(0, 8, 100)).unwrap();
         drain(&mut n, NodeId(8));
         let s = n.stats();
         assert_eq!(s.packets_injected, 1);
@@ -595,7 +604,7 @@ mod tests {
     #[should_panic(expected = "destination off mesh")]
     fn off_mesh_destination_panics() {
         let mut n = net(2, 2);
-        n.try_inject(SimTime::ZERO, pkt(0, 99, 4));
+        let _ = n.try_inject(SimTime::ZERO, pkt(0, 99, 4));
     }
 
     #[test]
@@ -644,8 +653,11 @@ fn uniform_traffic_never_wedges() {
         net.advance(now);
         for n in 0..16u16 {
             while net.eject(NodeId(n)).is_some() {}
-            while let Some(p) = queues[n as usize].front() {
-                if net.try_inject(now.max(net.now()), p.clone()) { queues[n as usize].pop_front(); } else { break; }
+            while let Some(p) = queues[n as usize].pop_front() {
+                if let Err(p) = net.try_inject(now.max(net.now()), p) {
+                    queues[n as usize].push_front(p);
+                    break;
+                }
             }
         }
         let _ = round;
@@ -658,8 +670,11 @@ fn uniform_traffic_never_wedges() {
         while let Some(t) = net.next_event_time() { net.advance(t); now = now.max(t); }
         for n in 0..16u16 {
             while net.eject(NodeId(n)).is_some() {}
-            while let Some(p) = queues[n as usize].front() {
-                if net.try_inject(now.max(net.now()), p.clone()) { queues[n as usize].pop_front(); } else { break; }
+            while let Some(p) = queues[n as usize].pop_front() {
+                if let Err(p) = net.try_inject(now.max(net.now()), p) {
+                    queues[n as usize].push_front(p);
+                    break;
+                }
             }
         }
         let after = net.in_flight() + queues.iter().map(|q| q.len()).sum::<usize>();

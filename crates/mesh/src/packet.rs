@@ -10,26 +10,46 @@ use crate::topology::NodeId;
 /// mesh is oblivious to it.
 pub const ROUTING_OVERHEAD_BYTES: u64 = 4;
 
-/// One packet in flight on the mesh.
+/// A payload the mesh can carry.
+///
+/// The mesh never inspects payload bytes; all it needs is the payload's
+/// size on the wire, which drives link serialization and buffer occupancy.
+/// Carrying a structured payload (the NIC's `ShrimpPacket`) directly means
+/// the sending NIC does not serialize and the receiving NIC does not
+/// parse — the same refcounted buffer rides end to end.
+pub trait MeshPayload {
+    /// Bytes this payload occupies on a link, excluding the routing
+    /// envelope.
+    fn byte_len(&self) -> u64;
+}
+
+impl MeshPayload for Bytes {
+    fn byte_len(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// One packet in flight on the mesh, generic over the payload it carries
+/// (raw [`Bytes`] by default).
 ///
 /// # Examples
 ///
 /// ```
 /// use shrimp_mesh::{MeshPacket, NodeId};
 ///
-/// let p = MeshPacket::new(NodeId(0), NodeId(3), vec![0xaa; 16]);
+/// let p: MeshPacket = MeshPacket::new(NodeId(0), NodeId(3), vec![0xaa; 16]);
 /// assert_eq!(p.wire_len(), 16 + shrimp_mesh::packet::ROUTING_OVERHEAD_BYTES);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MeshPacket {
+pub struct MeshPacket<P = Bytes> {
     src: NodeId,
     dst: NodeId,
-    payload: Bytes,
+    payload: P,
 }
 
-impl MeshPacket {
+impl<P: MeshPayload> MeshPacket<P> {
     /// Creates a packet carrying `payload` from `src` to `dst`.
-    pub fn new(src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Self {
+    pub fn new(src: NodeId, dst: NodeId, payload: impl Into<P>) -> Self {
         MeshPacket {
             src,
             dst,
@@ -47,19 +67,19 @@ impl MeshPacket {
         self.dst
     }
 
-    /// The opaque payload (the SHRIMP NIC's wire format).
-    pub fn payload(&self) -> &[u8] {
+    /// The payload (opaque to the mesh).
+    pub fn payload(&self) -> &P {
         &self.payload
     }
 
     /// Consumes the packet, returning the payload.
-    pub fn into_payload(self) -> Bytes {
+    pub fn into_payload(self) -> P {
         self.payload
     }
 
     /// Bytes this packet occupies on a link, envelope included.
     pub fn wire_len(&self) -> u64 {
-        self.payload.len() as u64 + ROUTING_OVERHEAD_BYTES
+        self.payload.byte_len() + ROUTING_OVERHEAD_BYTES
     }
 }
 
@@ -69,17 +89,24 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let p = MeshPacket::new(NodeId(1), NodeId(2), vec![1, 2, 3]);
+        let p: MeshPacket = MeshPacket::new(NodeId(1), NodeId(2), vec![1, 2, 3]);
         assert_eq!(p.src(), NodeId(1));
         assert_eq!(p.dst(), NodeId(2));
-        assert_eq!(p.payload(), &[1, 2, 3]);
+        assert_eq!(&p.payload()[..], &[1, 2, 3]);
         assert_eq!(p.wire_len(), 3 + ROUTING_OVERHEAD_BYTES);
     }
 
     #[test]
     fn empty_payload_still_has_envelope() {
-        let p = MeshPacket::new(NodeId(0), NodeId(0), Vec::new());
+        let p: MeshPacket = MeshPacket::new(NodeId(0), NodeId(0), Vec::new());
         assert_eq!(p.wire_len(), ROUTING_OVERHEAD_BYTES);
         assert!(p.into_payload().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let p: MeshPacket = MeshPacket::new(NodeId(0), NodeId(1), vec![7u8; 64]);
+        let q = p.clone();
+        assert_eq!(p.payload().as_slice().as_ptr(), q.payload().as_slice().as_ptr());
     }
 }

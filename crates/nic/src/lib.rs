@@ -58,4 +58,4 @@ pub use error::NicError;
 pub use fifo::PacketFifo;
 pub use nic::{IncomingDelivery, NetworkInterface, NicInterrupt, SnoopOutcome};
 pub use nipt::{Nipt, NiptEntry, OutSegment, UpdatePolicy};
-pub use packet::{ShrimpPacket, WireHeader};
+pub use packet::{crc32, Crc32, Payload, ShrimpPacket, WireHeader, INLINE_PAYLOAD_MAX};

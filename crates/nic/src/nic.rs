@@ -16,7 +16,7 @@ use crate::dma::DmaEngine;
 use crate::error::NicError;
 use crate::fifo::PacketFifo;
 use crate::nipt::{Nipt, OutSegment, UpdatePolicy};
-use crate::packet::{ShrimpPacket, WireHeader};
+use crate::packet::{Payload, ShrimpPacket, WireHeader};
 
 /// What the NIC did with one snooped bus write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +81,9 @@ pub enum NicInterrupt {
 pub struct IncomingDelivery {
     /// Destination physical address.
     pub dst_addr: PhysAddr,
-    /// The data to deposit.
-    pub data: Vec<u8>,
+    /// The data to deposit — the same buffer the sender packetized,
+    /// passed along by refcount.
+    pub data: Payload,
     /// Earliest time the memory transfer may start.
     pub ready_at: SimTime,
     /// The sending node.
@@ -142,7 +143,7 @@ pub struct NetworkInterface {
     out_fifo: PacketFifo,
     in_fifo: PacketFifo,
     pending: Option<PendingBlocked>,
-    overflow: Vec<ShrimpPacket>,
+    overflow: std::collections::VecDeque<ShrimpPacket>,
     dma: DmaEngine,
     interrupts: Vec<NicInterrupt>,
     out_threshold_raised: bool,
@@ -169,7 +170,7 @@ impl NetworkInterface {
             out_fifo: PacketFifo::new(config.out_fifo_bytes, config.out_fifo_threshold),
             in_fifo: PacketFifo::new(config.in_fifo_bytes, config.in_fifo_threshold),
             pending: None,
-            overflow: Vec::new(),
+            overflow: std::collections::VecDeque::new(),
             dma: DmaEngine::new(),
             interrupts: Vec::new(),
             out_threshold_raised: false,
@@ -250,7 +251,13 @@ impl NetworkInterface {
                 self.flush_pending(now);
                 let dst = seg.translate(addr.offset());
                 self.stats.single_write_packets += 1;
-                self.queue_packet(now + self.config.packetize_latency, seg.dst_node, dst, data.to_vec())
+                // A snooped store is at most a word: the payload inlines.
+                self.queue_packet(
+                    now + self.config.packetize_latency,
+                    seg.dst_node,
+                    dst,
+                    Payload::copy_from_slice(data),
+                )
             }
             UpdatePolicy::AutomaticBlocked => {
                 if mergeable
@@ -293,7 +300,7 @@ impl NetworkInterface {
             now + self.config.packetize_latency,
             p.dst_node,
             p.dst_base,
-            p.data,
+            Payload::from(p.data),
         );
         true
     }
@@ -317,11 +324,11 @@ impl NetworkInterface {
     /// Moves stalled packets into the Outgoing FIFO as space frees,
     /// preserving order.
     fn refill_from_overflow(&mut self, now: SimTime) {
-        while let Some(pkt) = self.overflow.first() {
+        while let Some(pkt) = self.overflow.front() {
             if !self.out_fifo.would_fit(pkt.wire_len()) {
                 break;
             }
-            let pkt = self.overflow.remove(0);
+            let pkt = self.overflow.pop_front().expect("front checked above");
             self.out_fifo
                 .try_push(now, pkt)
                 .expect("would_fit checked above");
@@ -341,7 +348,7 @@ impl NetworkInterface {
         ready_at: SimTime,
         dst_node: NodeId,
         dst_addr: PhysAddr,
-        data: Vec<u8>,
+        data: Payload,
     ) -> SnoopOutcome {
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
@@ -362,7 +369,7 @@ impl NetworkInterface {
                 SnoopOutcome::Queued
             }
             Err(packet) => {
-                self.overflow.push(packet);
+                self.overflow.push_back(packet);
                 if !self.out_threshold_raised {
                     self.out_threshold_raised = true;
                     self.interrupts.push(NicInterrupt::OutgoingThreshold);
@@ -381,21 +388,20 @@ impl NetworkInterface {
     }
 
     /// Pops the head outgoing packet as a mesh packet if it is ready by
-    /// `now`.
-    pub fn pop_outgoing(&mut self, now: SimTime) -> Option<MeshPacket> {
+    /// `now`. The packet is handed to the mesh whole — no serialization.
+    pub fn pop_outgoing(&mut self, now: SimTime) -> Option<MeshPacket<ShrimpPacket>> {
         let (_, ready) = self.out_fifo.peek_with_time()?;
         if ready > now {
             return None;
         }
         let (packet, _) = self.out_fifo.pop()?;
         let dst = self.shape.id_at(packet.header().dst_coord);
-        let wire = packet.encode();
         // Space freed: stalled packets enter the FIFO now.
         self.refill_from_overflow(now);
         if !self.out_fifo.over_threshold() {
             self.out_threshold_raised = false;
         }
-        Some(MeshPacket::new(self.node, dst, wire))
+        Some(MeshPacket::new(self.node, dst, packet))
     }
 
     /// True while the Outgoing FIFO is over its threshold — the CPU must
@@ -510,7 +516,9 @@ impl NetworkInterface {
         debug_assert!(started, "engine was idle");
         let dst = seg.translate(src.offset());
         self.stats.dma_packets += 1;
-        self.queue_packet(done_at, seg.dst_node, dst, data);
+        // One buffer from here on: the Vec read from memory becomes the
+        // refcounted payload shared by FIFO, mesh and delivery DMA.
+        self.queue_packet(done_at, seg.dst_node, dst, Payload::from(data));
         Ok(CommandEffect::DmaStarted { done_at })
     }
 
@@ -523,31 +531,33 @@ impl NetworkInterface {
     }
 
     /// Accepts one packet from the mesh: verifies routing and CRC and
-    /// queues it on the Incoming FIFO.
+    /// queues it on the Incoming FIFO. The CRC check recomputes the
+    /// checksum over header and payload slices — no wire buffer exists.
     ///
     /// # Errors
     ///
-    /// Returns the decode/verification error; the packet is dropped and
-    /// counted.
-    pub fn accept_packet(&mut self, now: SimTime, packet: MeshPacket) -> Result<(), NicError> {
-        let decoded = match ShrimpPacket::decode(packet.payload()) {
-            Ok(d) => d,
-            Err(e) => {
-                self.stats.crc_drops += 1;
-                return Err(e);
-            }
-        };
-        if decoded.header().dst_coord != self.coord {
+    /// Returns the verification error; the packet is dropped and counted.
+    pub fn accept_packet(
+        &mut self,
+        now: SimTime,
+        packet: MeshPacket<ShrimpPacket>,
+    ) -> Result<(), NicError> {
+        let packet = packet.into_payload();
+        if !packet.verify_crc() {
+            self.stats.crc_drops += 1;
+            return Err(NicError::BadCrc);
+        }
+        if packet.header().dst_coord != self.coord {
             self.stats.misroutes += 1;
             return Err(NicError::WrongDestination {
-                packet: decoded.header().dst_coord,
+                packet: packet.header().dst_coord,
                 local: self.coord,
             });
         }
         self.stats.packets_received += 1;
-        self.stats.bytes_received += decoded.payload().len() as u64;
+        self.stats.bytes_received += packet.payload().len() as u64;
         self.in_fifo
-            .try_push(now, decoded)
+            .try_push(now, packet)
             .map_err(|_| NicError::IncomingFifoFull)
     }
 
@@ -645,9 +655,14 @@ mod tests {
         assert!(n.pop_outgoing(t(0)).is_none());
         let mp = n.pop_outgoing(t(1000)).expect("ready after packetize");
         assert_eq!(mp.dst(), NodeId(1));
-        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
-        assert_eq!(decoded.header().dst_addr, PageNum::new(9).at_offset(16));
-        assert_eq!(decoded.payload(), &7u32.to_le_bytes());
+        let packet = mp.into_payload();
+        assert!(packet.verify_crc());
+        assert_eq!(packet.header().dst_addr, PageNum::new(9).at_offset(16));
+        assert_eq!(packet.payload(), &7u32.to_le_bytes());
+        assert!(
+            matches!(packet.into_payload(), Payload::Inline { len: 4, .. }),
+            "a snooped word must not allocate"
+        );
         assert_eq!(n.stats().single_write_packets, 1);
     }
 
@@ -685,8 +700,7 @@ mod tests {
         // Window expiry flushes one packet with all 12 bytes.
         n.poll(t(1000));
         let mp = n.pop_outgoing(t(10_000)).expect("flushed");
-        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
-        assert_eq!(decoded.payload().len(), 12);
+        assert_eq!(mp.payload().payload().len(), 12);
         assert_eq!(n.stats().blocked_write_packets, 1);
     }
 
@@ -701,8 +715,8 @@ mod tests {
         n.poll(t(5000));
         let a = n.pop_outgoing(t(100_000)).unwrap();
         let b = n.pop_outgoing(t(100_000)).unwrap();
-        assert_eq!(ShrimpPacket::decode(a.payload()).unwrap().payload().len(), 4);
-        assert_eq!(ShrimpPacket::decode(b.payload()).unwrap().payload().len(), 4);
+        assert_eq!(a.payload().payload().len(), 4);
+        assert_eq!(b.payload().payload().len(), 4);
     }
 
     #[test]
@@ -727,10 +741,8 @@ mod tests {
         // Both packets must be queued, blocked first.
         let first = n.pop_outgoing(t(100_000)).unwrap();
         let second = n.pop_outgoing(t(100_000)).unwrap();
-        let f = ShrimpPacket::decode(first.payload()).unwrap();
-        let s = ShrimpPacket::decode(second.payload()).unwrap();
-        assert_eq!(f.header().dst_addr.page(), PageNum::new(9));
-        assert_eq!(s.header().dst_addr.page(), PageNum::new(10));
+        assert_eq!(first.payload().header().dst_addr.page(), PageNum::new(9));
+        assert_eq!(second.payload().header().dst_addr.page(), PageNum::new(10));
     }
 
     #[test]
@@ -766,14 +778,11 @@ mod tests {
         let b = n.pop_outgoing(t(100_000)).unwrap();
         assert_eq!(a.dst(), NodeId(1));
         assert_eq!(
-            ShrimpPacket::decode(a.payload()).unwrap().header().dst_addr,
+            a.payload().header().dst_addr,
             PageNum::new(8).at_offset(2048)
         );
         assert_eq!(b.dst(), NodeId(2));
-        assert_eq!(
-            ShrimpPacket::decode(b.payload()).unwrap().header().dst_addr,
-            PageNum::new(3).base()
-        );
+        assert_eq!(b.payload().header().dst_addr, PageNum::new(3).base());
     }
 
     #[test]
@@ -809,9 +818,9 @@ mod tests {
         // Packet appears once DMA finishes.
         assert!(n.pop_outgoing(done_at - SimDuration::from_ns(1)).is_none());
         let mp = n.pop_outgoing(done_at).unwrap();
-        let decoded = ShrimpPacket::decode(mp.payload()).unwrap();
-        assert_eq!(decoded.payload().len(), 1024);
-        assert_eq!(decoded.header().dst_addr, PageNum::new(12).base());
+        let packet = mp.into_payload();
+        assert_eq!(packet.payload().len(), 1024);
+        assert_eq!(packet.header().dst_addr, PageNum::new(12).base());
         assert_eq!(n.stats().dma_packets, 1);
     }
 
@@ -867,7 +876,11 @@ mod tests {
         assert!(!n.nipt().entry(PageNum::new(2)).unwrap().is_mapped_in());
     }
 
-    fn wire_packet_for(n: &NetworkInterface, dst_addr: PhysAddr, data: Vec<u8>) -> MeshPacket {
+    fn wire_packet_for(
+        n: &NetworkInterface,
+        dst_addr: PhysAddr,
+        data: Vec<u8>,
+    ) -> MeshPacket<ShrimpPacket> {
         let p = ShrimpPacket::new(
             WireHeader {
                 dst_coord: n.coord(),
@@ -876,7 +889,7 @@ mod tests {
             },
             data,
         );
-        MeshPacket::new(NodeId(3), n.node(), p.encode())
+        MeshPacket::new(NodeId(3), n.node(), p)
     }
 
     #[test]
@@ -888,7 +901,7 @@ mod tests {
         assert!(n.pop_incoming(t(0)).is_none(), "receive latency first");
         let d = n.pop_incoming(t(1000)).unwrap().unwrap();
         assert_eq!(d.dst_addr, PageNum::new(4).at_offset(8));
-        assert_eq!(d.data, vec![9; 16]);
+        assert_eq!(d.data.as_slice(), &[9u8; 16][..]);
         assert!(!d.interrupt);
         assert_eq!(d.src, NodeId(3));
         assert_eq!(n.stats().packets_received, 1);
@@ -916,7 +929,7 @@ mod tests {
             },
             vec![0; 4],
         );
-        let mp = MeshPacket::new(NodeId(3), n.node(), p.encode());
+        let mp = MeshPacket::new(NodeId(3), n.node(), p);
         assert!(matches!(
             n.accept_packet(t(0), mp),
             Err(NicError::WrongDestination { .. })
@@ -929,10 +942,13 @@ mod tests {
         let mut n = nic();
         n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
         let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 8]);
-        let mut wire = mp.payload().to_vec();
-        wire[5] ^= 0xff;
-        let bad = MeshPacket::new(NodeId(3), n.node(), wire);
-        assert!(n.accept_packet(t(0), bad).is_err());
+        // A network error: payload bytes change, stored CRC does not.
+        let good = mp.into_payload();
+        let mut corrupted = good.payload().to_vec();
+        corrupted[5] ^= 0xff;
+        let bad = ShrimpPacket::from_parts(*good.header(), corrupted, good.crc());
+        let mp = MeshPacket::new(NodeId(3), n.node(), bad);
+        assert!(matches!(n.accept_packet(t(0), mp), Err(NicError::BadCrc)));
         assert_eq!(n.stats().crc_drops, 1);
     }
 

@@ -6,8 +6,16 @@
 //! routing information proper is consumed by the mesh model
 //! ([`shrimp_mesh::packet::ROUTING_OVERHEAD_BYTES`]); everything else is
 //! encoded here.
+//!
+//! Packets are *not* serialized on the simulated datapath: the CRC is
+//! computed by streaming over the header fields and the payload slice at
+//! construction, and the structured packet itself rides the mesh (it
+//! implements [`shrimp_mesh::MeshPayload`]). [`ShrimpPacket::encode`] and
+//! [`ShrimpPacket::decode`] produce/parse the equivalent wire bytes and
+//! exist for wire-level tests and tools.
 
-use shrimp_mesh::{MeshCoord, NodeId};
+use bytes::Bytes;
+use shrimp_mesh::{MeshCoord, MeshPayload, NodeId};
 use shrimp_mem::PhysAddr;
 
 use crate::error::NicError;
@@ -30,9 +38,131 @@ impl WireHeader {
     /// Encoded header size: dst x/y (2) + src (2) + dst_addr (8) +
     /// payload length (2).
     pub const WIRE_BYTES: u64 = 14;
+
+    /// The header's wire bytes, for streaming into a CRC without
+    /// materializing the full wire buffer. `len` is the payload length
+    /// field value.
+    fn wire_bytes(&self, len: u16) -> [u8; Self::WIRE_BYTES as usize] {
+        let mut b = [0u8; Self::WIRE_BYTES as usize];
+        b[0] = self.dst_coord.x as u8;
+        b[1] = self.dst_coord.y as u8;
+        b[2..4].copy_from_slice(&self.src.0.to_le_bytes());
+        b[4..12].copy_from_slice(&self.dst_addr.raw().to_le_bytes());
+        b[12..14].copy_from_slice(&len.to_le_bytes());
+        b
+    }
+}
+
+/// Largest payload stored inline, without touching the heap. Snooped
+/// automatic-update packets carry a single word (4 bytes), so the common
+/// small packet never allocates.
+pub const INLINE_PAYLOAD_MAX: usize = 8;
+
+/// A packet payload: tiny payloads live inline in the packet struct,
+/// larger ones are refcounted so every pipeline stage (Outgoing FIFO,
+/// mesh, Incoming FIFO, DMA) shares one buffer.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Up to [`INLINE_PAYLOAD_MAX`] bytes, stored in place.
+    Inline { len: u8, buf: [u8; INLINE_PAYLOAD_MAX] },
+    /// A refcounted slice of a shared buffer.
+    Shared(Bytes),
+}
+
+impl Payload {
+    /// Builds a payload from a slice, inlining it when it fits.
+    pub fn copy_from_slice(data: &[u8]) -> Payload {
+        if data.len() <= INLINE_PAYLOAD_MAX {
+            let mut buf = [0u8; INLINE_PAYLOAD_MAX];
+            buf[..data.len()].copy_from_slice(data);
+            Payload::Inline {
+                len: data.len() as u8,
+                buf,
+            }
+        } else {
+            Payload::Shared(Bytes::copy_from_slice(data))
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Inline { len, buf } => &buf[..*len as usize],
+            Payload::Shared(b) => b,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Inline { len, .. } => *len as usize,
+            Payload::Shared(b) => b.len(),
+        }
+    }
+
+    /// True when the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        if v.len() <= INLINE_PAYLOAD_MAX {
+            Payload::copy_from_slice(&v)
+        } else {
+            Payload::Shared(Bytes::from(v))
+        }
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Payload {
+        Payload::Shared(b)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::Inline {
+            len: 0,
+            buf: [0; INLINE_PAYLOAD_MAX],
+        }
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
 }
 
 /// A complete SHRIMP packet: header, payload, CRC32.
+///
+/// The CRC is computed once at construction (over the logical wire bytes:
+/// header, length field, payload) and carried with the packet;
+/// [`ShrimpPacket::verify_crc`] recomputes and compares on receipt.
 ///
 /// # Examples
 ///
@@ -55,18 +185,38 @@ impl WireHeader {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShrimpPacket {
     header: WireHeader,
-    payload: Vec<u8>,
+    payload: Payload,
+    crc: u32,
 }
 
 impl ShrimpPacket {
-    /// Builds a packet.
+    /// Builds a packet, computing its CRC.
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds `u16::MAX` bytes (the length field).
-    pub fn new(header: WireHeader, payload: Vec<u8>) -> Self {
+    pub fn new(header: WireHeader, payload: impl Into<Payload>) -> Self {
+        let payload = payload.into();
         assert!(payload.len() <= u16::MAX as usize, "payload too large");
-        ShrimpPacket { header, payload }
+        let crc = body_crc(&header, payload.as_slice());
+        ShrimpPacket {
+            header,
+            payload,
+            crc,
+        }
+    }
+
+    /// Reassembles a packet from parts without recomputing the CRC — the
+    /// decode path and wire-corruption tests, where the stored CRC must be
+    /// whatever arrived.
+    pub fn from_parts(header: WireHeader, payload: impl Into<Payload>, crc: u32) -> Self {
+        let payload = payload.into();
+        assert!(payload.len() <= u16::MAX as usize, "payload too large");
+        ShrimpPacket {
+            header,
+            payload,
+            crc,
+        }
     }
 
     /// The decoded header.
@@ -76,12 +226,23 @@ impl ShrimpPacket {
 
     /// The data bytes.
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        self.payload.as_slice()
     }
 
     /// Consumes the packet, returning the payload.
-    pub fn into_payload(self) -> Vec<u8> {
+    pub fn into_payload(self) -> Payload {
         self.payload
+    }
+
+    /// The CRC32 carried by the packet.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Recomputes the CRC over header and payload and compares it with
+    /// the stored one — what the receiving NIC does on arrival.
+    pub fn verify_crc(&self) -> bool {
+        body_crc(&self.header, self.payload.as_slice()) == self.crc
     }
 
     /// Total encoded size in bytes (header + payload + CRC32).
@@ -89,18 +250,13 @@ impl ShrimpPacket {
         WireHeader::WIRE_BYTES + self.payload.len() as u64 + 4
     }
 
-    /// Serializes to wire bytes, appending the CRC32 of everything before
-    /// it.
+    /// Serializes to wire bytes: header, payload, then the *stored* CRC
+    /// (so a corrupted packet encodes to corrupted wire bytes).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len() as usize);
-        out.push(self.header.dst_coord.x as u8);
-        out.push(self.header.dst_coord.y as u8);
-        out.extend_from_slice(&self.header.src.0.to_le_bytes());
-        out.extend_from_slice(&self.header.dst_addr.raw().to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        let crc = crc32(&out);
-        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&self.header.wire_bytes(self.payload.len() as u16));
+        out.extend_from_slice(self.payload.as_slice());
+        out.extend_from_slice(&self.crc.to_le_bytes());
         out
     }
 
@@ -134,24 +290,84 @@ impl ShrimpPacket {
                 body[4..12].try_into().expect("8-byte address"),
             )),
         };
-        Ok(ShrimpPacket {
+        Ok(ShrimpPacket::from_parts(
             header,
-            payload: body[H..].to_vec(),
-        })
+            Payload::copy_from_slice(&body[H..]),
+            stored,
+        ))
     }
 }
 
-/// IEEE 802.3 CRC-32, bitwise (table-free) implementation.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
+/// The mesh ships SHRIMP packets whole; only the wire size matters to it.
+impl MeshPayload for ShrimpPacket {
+    fn byte_len(&self) -> u64 {
+        self.wire_len()
+    }
+}
+
+/// CRC of the logical wire body (header bytes then payload), streamed —
+/// no wire buffer is materialized.
+fn body_crc(header: &WireHeader, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&header.wire_bytes(payload.len() as u16));
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Byte-at-a-time table for the IEEE 802.3 polynomial.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            bit += 1;
         }
+        table[i] = crc;
+        i += 1;
     }
-    !crc
+    table
+};
+
+/// Incremental IEEE 802.3 CRC-32.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xffff_ffff)
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.0;
+        for &byte in data {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// Finalizes and returns the checksum.
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// IEEE 802.3 CRC-32 of a contiguous buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
 }
 
 #[cfg(test)]
@@ -174,14 +390,26 @@ mod tests {
     }
 
     #[test]
+    fn streamed_crc_matches_contiguous() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0, 1, 13, 128, 255, 256] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data));
+        }
+    }
+
+    #[test]
     fn encode_decode_roundtrip() {
-        let p = ShrimpPacket::new(header(), (0..=255).collect());
+        let p = ShrimpPacket::new(header(), (0..=255).collect::<Vec<u8>>());
         let wire = p.encode();
         assert_eq!(wire.len() as u64, p.wire_len());
         let d = ShrimpPacket::decode(&wire).unwrap();
         assert_eq!(d, p);
         assert_eq!(d.header().dst_addr, PhysAddr::new(0xdead_b000));
         assert_eq!(d.header().src, NodeId(7));
+        assert!(d.verify_crc());
     }
 
     #[test]
@@ -189,6 +417,21 @@ mod tests {
         let p = ShrimpPacket::new(header(), Vec::new());
         let d = ShrimpPacket::decode(&p.encode()).unwrap();
         assert!(d.payload().is_empty());
+    }
+
+    #[test]
+    fn small_payload_is_inline() {
+        let p = ShrimpPacket::new(header(), vec![1, 2, 3, 4]);
+        assert!(matches!(p.into_payload(), Payload::Inline { len: 4, .. }));
+        let p = ShrimpPacket::new(header(), vec![0; INLINE_PAYLOAD_MAX + 1]);
+        assert!(matches!(p.into_payload(), Payload::Shared(_)));
+    }
+
+    #[test]
+    fn shared_payload_clone_is_refcounted() {
+        let p = ShrimpPacket::new(header(), vec![9u8; 64]);
+        let q = p.clone();
+        assert_eq!(p.payload().as_ptr(), q.payload().as_ptr());
     }
 
     #[test]
@@ -201,6 +444,16 @@ mod tests {
             let r = ShrimpPacket::decode(&bad);
             assert!(r.is_err(), "flip at byte {i} must be detected");
         }
+    }
+
+    #[test]
+    fn stored_crc_mismatch_detected() {
+        let good = ShrimpPacket::new(header(), vec![7u8; 16]);
+        assert!(good.verify_crc());
+        let bad = ShrimpPacket::from_parts(*good.header(), vec![7u8; 16], good.crc() ^ 1);
+        assert!(!bad.verify_crc());
+        // The corrupted packet encodes to corrupted wire bytes.
+        assert_eq!(ShrimpPacket::decode(&bad.encode()), Err(NicError::BadCrc));
     }
 
     #[test]
@@ -235,6 +488,8 @@ mod tests {
     fn wire_len_matches_constant() {
         let p = ShrimpPacket::new(header(), vec![0; 4]);
         assert_eq!(p.wire_len(), WireHeader::WIRE_BYTES + 4 + 4);
+        use shrimp_mesh::MeshPayload;
+        assert_eq!(p.byte_len(), p.wire_len());
     }
 
     #[test]

@@ -101,7 +101,8 @@ proptest! {
         let mut replay = vec![0u8; PAGE_SIZE as usize];
         let far = SimTime::from_picos(u64::MAX / 2);
         while let Some(mp) = n.pop_outgoing(far) {
-            let p = ShrimpPacket::decode(mp.payload()).unwrap();
+            let p = mp.into_payload();
+            prop_assert!(p.verify_crc());
             let off = p.header().dst_addr.offset() as usize;
             replay[off..off + p.payload().len()].copy_from_slice(p.payload());
         }
@@ -130,7 +131,7 @@ proptest! {
                 },
                 vec![i as u8; *len],
             );
-            let mp = shrimp_mesh::MeshPacket::new(NodeId(1), NodeId(0), p.encode());
+            let mp = shrimp_mesh::MeshPacket::new(NodeId(1), NodeId(0), p);
             n.accept_packet(SimTime::ZERO, mp).unwrap();
             accepted += 1;
             prop_assert!(n.in_fifo_bytes() <= n.config().in_fifo_bytes);
@@ -172,7 +173,7 @@ fn stats_never_lie_about_conservation() {
     let mut popped = 0;
     let mut popped_bytes = 0;
     while let Some(mp) = n.pop_outgoing(far) {
-        let p = ShrimpPacket::decode(mp.payload()).unwrap();
+        let p = mp.into_payload();
         popped += 1;
         popped_bytes += p.payload().len() as u64;
     }

@@ -76,7 +76,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(h.count(), 4);
 /// assert_eq!(h.max(), Some(100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,

@@ -37,10 +37,7 @@ fn main() -> Result<(), MachineError> {
     // nodes (a page maps out to at most two destinations, so one-to-many
     // is copy-or-remap — the paper's stated trade-off).
     let bcast = Broadcast::establish(&mut m, &members)?;
-    let payload: Vec<u8> = b"scatter me to every node of the machine!"
-        .iter()
-        .copied()
-        .collect();
+    let payload: Vec<u8> = b"scatter me to every node of the machine!".to_vec();
     let t1 = m.now();
     bcast.send(&mut m, &payload)?;
     println!(

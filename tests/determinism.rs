@@ -1,0 +1,146 @@
+//! Determinism regression: the event loop must produce byte-identical
+//! results across runs. The zero-copy datapath and the batched CPU
+//! quantum both reorder *work* relative to the original implementation;
+//! neither may reorder *observable effects*, and repeated runs of the
+//! same scenario must agree exactly — the event queue's
+//! (timestamp, insertion-seq) total order is the only tie-breaker.
+
+use shrimp::cpu::Reg;
+use shrimp::mem::PAGE_SIZE;
+use shrimp::mesh::{MeshShape, NodeId};
+use shrimp::nic::nic::NicStats;
+use shrimp::nic::UpdatePolicy;
+use shrimp::{DeliveryRecord, Machine, MachineConfig, MapRequest};
+
+/// Everything externally observable about one finished run.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    deliveries: Vec<DeliveryRecord>,
+    nic_stats: Vec<NicStats>,
+    mesh_stats: shrimp::mesh::NetworkStats,
+    events_processed: u64,
+    final_time: shrimp::sim::SimTime,
+}
+
+/// A mixed workload on a 2×2 mesh: a deliberate-update page stream from
+/// node 0 to node 1 (drives the CPU program path, DMA engine and mesh
+/// concurrently) overlapped with an automatic-update ping-pong between
+/// nodes 2 and 3 (drives the snoop path and single-word packets).
+fn run_scenario() -> Observation {
+    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+    let pages = 8u64;
+    cfg.pages_per_node = 4 * 256;
+    let mut m = Machine::new(cfg);
+
+    // Bandwidth half: node 0 streams `pages` pages to node 1.
+    let s = m.create_process(NodeId(0));
+    let r = m.create_process(NodeId(1));
+    let data_va = m.alloc_pages(NodeId(0), s, pages).expect("alloc");
+    let rcv_va = m.alloc_pages(NodeId(1), r, pages).expect("alloc");
+    let export = m
+        .export_buffer(NodeId(1), r, rcv_va, pages, Some(NodeId(0)))
+        .expect("export");
+    m.map(MapRequest {
+        src_node: NodeId(0),
+        src_pid: s,
+        src_va: data_va,
+        dst_node: NodeId(1),
+        export,
+        dst_offset: 0,
+        len: pages * PAGE_SIZE,
+        policy: UpdatePolicy::Deliberate,
+    })
+    .expect("map");
+    let mut cmd_delta = 0u32;
+    for p in 0..pages {
+        let cmd = m
+            .map_command_page(NodeId(0), s, data_va.add(p * PAGE_SIZE))
+            .expect("command page");
+        if p == 0 {
+            cmd_delta = (cmd.raw() - data_va.raw()) as u32;
+        }
+    }
+    let payload: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
+    m.poke(NodeId(0), s, data_va, &payload).expect("fill");
+    m.run_until_idle().expect("quiesce after fill");
+
+    // Ping-pong half: nodes 2 and 3 map one page at each other.
+    let a = m.create_process(NodeId(2));
+    let b = m.create_process(NodeId(3));
+    let a_buf = m.alloc_pages(NodeId(2), a, 1).expect("alloc");
+    let b_buf = m.alloc_pages(NodeId(3), b, 1).expect("alloc");
+    let a_export = m
+        .export_buffer(NodeId(2), a, a_buf, 1, Some(NodeId(3)))
+        .expect("export");
+    let b_export = m
+        .export_buffer(NodeId(3), b, b_buf, 1, Some(NodeId(2)))
+        .expect("export");
+    m.map(MapRequest {
+        src_node: NodeId(2),
+        src_pid: a,
+        src_va: a_buf,
+        dst_node: NodeId(3),
+        export: b_export,
+        dst_offset: 0,
+        len: PAGE_SIZE,
+        policy: UpdatePolicy::AutomaticSingle,
+    })
+    .expect("map a->b");
+    m.map(MapRequest {
+        src_node: NodeId(3),
+        src_pid: b,
+        src_va: b_buf,
+        dst_node: NodeId(2),
+        export: a_export,
+        dst_offset: 0,
+        len: PAGE_SIZE,
+        policy: UpdatePolicy::AutomaticSingle,
+    })
+    .expect("map b->a");
+
+    m.clear_deliveries();
+
+    // Start the deliberate stream...
+    let program = shrimp::msglib::deliberate_stream_program();
+    m.load_program(NodeId(0), s, program);
+    m.set_reg(NodeId(0), s, Reg::R5, data_va.raw() as u32);
+    m.set_reg(NodeId(0), s, Reg::R7, cmd_delta);
+    m.set_reg(NodeId(0), s, Reg::R3, pages as u32);
+    m.set_reg(NodeId(0), s, Reg::R2, (PAGE_SIZE / 4) as u32);
+    m.set_reg(NodeId(0), s, Reg::R4, (PAGE_SIZE / 4) as u32);
+    m.start(NodeId(0), s);
+
+    // ...and ping-pong while it is in flight.
+    for i in 0..16u32 {
+        m.poke(NodeId(2), a, a_buf.add((i as u64 % 64) * 4), &i.to_le_bytes())
+            .expect("ping");
+        m.poke(NodeId(3), b, b_buf.add((i as u64 % 64) * 4), &(!i).to_le_bytes())
+            .expect("pong");
+        m.run_until_idle().expect("round quiesces");
+    }
+    m.run_until_idle().expect("stream drains");
+
+    let nodes = 4u16;
+    Observation {
+        deliveries: m.deliveries().to_vec(),
+        nic_stats: (0..nodes).map(|n| m.nic_stats(NodeId(n))).collect(),
+        mesh_stats: m.mesh_stats().clone(),
+        events_processed: m.events_processed(),
+        final_time: m.now(),
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_observations() {
+    let first = run_scenario();
+    let second = run_scenario();
+    assert!(
+        !first.deliveries.is_empty(),
+        "scenario must actually deliver packets"
+    );
+    // The stream moved 8 pages and the ping-pong 32 words; both halves
+    // must show up in the delivery log.
+    let bytes: u64 = first.deliveries.iter().map(|d| d.len).sum();
+    assert!(bytes >= 8 * PAGE_SIZE + 32 * 4, "delivered {bytes} bytes");
+    assert_eq!(first, second, "simulation must be deterministic");
+}

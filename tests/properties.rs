@@ -26,11 +26,12 @@ proptest! {
             let src = NodeId(src % n);
             let dst = NodeId(dst % n);
             let tag = i as u8;
-            let pkt = MeshPacket::new(src, dst, vec![tag; len]);
+            let mut pkt: MeshPacket = MeshPacket::new(src, dst, vec![tag; len]);
             loop {
                 net.advance(now);
-                if net.try_inject(now, pkt.clone()) {
-                    break;
+                match net.try_inject(now, pkt) {
+                    Ok(()) => break,
+                    Err(refused) => pkt = refused,
                 }
                 match net.next_event_time() {
                     Some(t) => {
@@ -90,11 +91,12 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut got = Vec::new();
         for i in 0..count {
-            let pkt = MeshPacket::new(NodeId(0), NodeId(8), vec![i as u8; len]);
+            let mut pkt: MeshPacket = MeshPacket::new(NodeId(0), NodeId(8), vec![i as u8; len]);
             loop {
                 net.advance(now);
-                if net.try_inject(now, pkt.clone()) {
-                    break;
+                match net.try_inject(now, pkt) {
+                    Ok(()) => break,
+                    Err(refused) => pkt = refused,
                 }
                 match net.next_event_time() {
                     Some(t) => { net.advance(t); now = now.max(t); }
