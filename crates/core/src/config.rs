@@ -4,7 +4,7 @@ use shrimp_cpu::CpuConfig;
 use shrimp_mem::{BusConfig, CacheConfig};
 use shrimp_mesh::{MeshConfig, MeshShape};
 use shrimp_nic::NicConfig;
-use shrimp_sim::SimDuration;
+use shrimp_sim::{FaultConfig, SimDuration};
 
 /// Configuration of a simulated SHRIMP machine.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +38,10 @@ pub struct MachineConfig {
     pub quantum: SimDuration,
     /// TLB entries per node.
     pub tlb_entries: usize,
+    /// Deterministic fault injection (all rates zero by default, which
+    /// creates no fault sites and leaves the machine bit-identical to a
+    /// build without the subsystem).
+    pub fault: FaultConfig,
 }
 
 impl MachineConfig {
@@ -58,6 +62,7 @@ impl MachineConfig {
             context_switch_cost: SimDuration::from_us(15),
             quantum: SimDuration::from_ms(10),
             tlb_entries: 64,
+            fault: FaultConfig::default(),
         }
     }
 

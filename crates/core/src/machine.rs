@@ -174,7 +174,7 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         config.validate();
         let shape = config.shape;
-        let nodes = shape
+        let mut nodes: Vec<NodeState> = shape
             .iter_nodes()
             .map(|id| NodeState {
                 kernel: Kernel::with_policy(
@@ -197,10 +197,17 @@ impl Machine {
                 housekeep_wakeup: None,
             })
             .collect();
+        for (i, n) in nodes.iter_mut().enumerate() {
+            if let Some(site) = config.fault.nic_site(i as u64) {
+                n.nic.set_fault_injection(site);
+            }
+        }
+        let mut mesh = MeshNetwork::new(config.mesh);
+        mesh.set_fault_injection(&config.fault);
         Machine {
             config,
             nodes,
-            mesh: MeshNetwork::new(config.mesh),
+            mesh,
             // Steady-state event volume scales with node count; a
             // generous initial capacity avoids heap churn mid-run.
             events: EventQueue::with_capacity(256 * shape.nodes().max(1) as usize),
@@ -778,6 +785,9 @@ impl Machine {
                 self.nodes[node as usize].housekeep_wakeup = None;
                 self.nodes[node as usize].nic.poll(t);
                 self.schedule_node_wakeups(t, NodeId(node));
+                // A housekeep may end an injected FIFO stall or arm a
+                // retransmit replay; resume acceptance and push replays.
+                self.deliver_ejections(t, NodeId(node));
                 self.drain_outgoing(t, NodeId(node));
             }
             Event::DrainOutgoing { node } => {
@@ -850,7 +860,7 @@ impl Machine {
     fn deliver_ejections(&mut self, t: SimTime, node: NodeId) {
         loop {
             let n = &mut self.nodes[node.0 as usize];
-            if !n.nic.can_accept_from_network() {
+            if !n.nic.can_accept_from_network_at(t) {
                 break;
             }
             match self.mesh.peek_ejection(node) {
@@ -930,6 +940,12 @@ impl Machine {
         }
         // Space freed: blocked ejections may now proceed.
         self.deliver_ejections(t, node);
+        // Acks/nacks minted while accepting those ejections must go out
+        // now — the drain wakeup filter skips same-instant readiness.
+        // With retransmission off this is never taken.
+        if self.nodes[node.0 as usize].nic.has_pending_control() {
+            self.drain_outgoing(t, node);
+        }
         self.collect_interrupts(t, node);
     }
 

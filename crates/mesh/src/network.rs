@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
+use shrimp_sim::fault::{FaultConfig, LinkFault, LinkFaultSite};
 use shrimp_sim::{EventQueue, Histogram, SimDuration, SimTime};
 
 use crate::config::MeshConfig;
@@ -87,6 +88,12 @@ pub struct NetworkStats {
     pub transit_latency: Histogram,
     /// Hop counts of delivered packets.
     pub hops: Histogram,
+    /// Packets destroyed on a link by fault injection.
+    pub packets_dropped: u64,
+    /// Packets that crossed a link with injected bit-flips.
+    pub packets_corrupted: u64,
+    /// Link traversals that saw injected latency jitter.
+    pub packets_jittered: u64,
 }
 
 /// The simulated routing backplane, generic over the payload type its
@@ -110,6 +117,9 @@ pub struct MeshNetwork<P = Bytes> {
     /// Earliest pending Retry per node, deduplicating wakeups so
     /// congestion cannot flood the event queue with redundant retries.
     retry_at: Vec<Option<SimTime>>,
+    /// Fault site per directed link (same indexing as `link_free_at`);
+    /// empty unless [`MeshNetwork::set_fault_injection`] armed one.
+    faults: Vec<Option<LinkFaultSite>>,
     stats: NetworkStats,
 }
 
@@ -138,7 +148,20 @@ impl<P: MeshPayload> MeshNetwork<P> {
             now: SimTime::ZERO,
             in_flight: 0,
             retry_at: vec![None; n],
+            faults: Vec::new(),
             stats: NetworkStats::default(),
+        }
+    }
+
+    /// Arms (or, with an inactive config, disarms) per-link fault
+    /// injection. Each directed link gets its own named RNG stream, so a
+    /// fault plan is reproducible regardless of traffic order elsewhere.
+    pub fn set_fault_injection(&mut self, cfg: &FaultConfig) {
+        let links = self.link_free_at.len();
+        if cfg.link.is_active() {
+            self.faults = (0..links).map(|i| cfg.link_site(i as u64)).collect();
+        } else {
+            self.faults = Vec::new();
         }
     }
 
@@ -352,22 +375,50 @@ impl<P: MeshPayload> MeshNetwork<P> {
                     .packet
                     .wire_len();
                 let ser = self.serialization(wire_len);
+                let fault = match self.faults.get_mut(link_idx).and_then(Option::as_mut) {
+                    Some(site) => site.decide(),
+                    None => LinkFault::NONE,
+                };
                 self.link_free_at[link_idx] = t + ser;
                 self.stats.link_bytes += wire_len;
-                self.routers[down.0 as usize].inputs[dport].reserved += 1;
                 let src_buf = &mut self.routers[node.0 as usize].inputs[port];
                 src_buf.queue.pop_front();
                 src_buf.draining += 1;
+                self.events.push(t + ser, Event::SlotDrained { node, port });
+                if fault.drop {
+                    // The wire serialized the bytes but the packet is
+                    // gone: no downstream reservation, no Arrive.
+                    self.packets[id] = None;
+                    self.in_flight -= 1;
+                    self.stats.packets_dropped += 1;
+                    return true;
+                }
+                self.routers[down.0 as usize].inputs[dport].reserved += 1;
                 let inflight = self.packets[id].as_mut().expect("forwarding packet must exist");
                 inflight.hops += 1;
+                if fault.corrupt_bits > 0 {
+                    // Line noise: flip bits in the payload's wire image.
+                    // The payload's own integrity check (CRC for NIC
+                    // packets) is expected to catch this downstream.
+                    let payload_bits = inflight.packet.payload().byte_len().max(1) * 8;
+                    let site = self.faults[link_idx].as_mut().expect("site decided above");
+                    for _ in 0..fault.corrupt_bits {
+                        let bit = site.pick_bit(payload_bits);
+                        inflight.packet.payload_mut().corrupt_bit(bit);
+                    }
+                    self.stats.packets_corrupted += 1;
+                }
+                if fault.jitter > SimDuration::ZERO {
+                    self.stats.packets_jittered += 1;
+                }
                 // Cut-through: the head is at the next router after one
                 // hop latency; the tail follows one serialization later
                 // (it cannot leave here before it has fully arrived).
-                let head_at = t + self.config.hop_latency;
+                let head_at = t + self.config.hop_latency + fault.jitter;
                 // The tail leaves once the link has serialized it and it
                 // has fully arrived here, then rides the router pipeline.
-                inflight.tail_at = (t + ser).max(inflight.tail_at) + self.config.hop_latency;
-                self.events.push(t + ser, Event::SlotDrained { node, port });
+                inflight.tail_at =
+                    (t + ser).max(inflight.tail_at) + self.config.hop_latency + fault.jitter;
                 self.events.push(
                     head_at,
                     Event::Arrive {
@@ -598,6 +649,79 @@ mod tests {
         let wire = 100 + crate::packet::ROUTING_OVERHEAD_BYTES;
         assert_eq!(s.link_bytes, 4 * wire);
         assert!(s.transit_latency.count() == 1);
+    }
+
+    fn always_drop() -> shrimp_sim::FaultConfig {
+        shrimp_sim::FaultConfig {
+            seed: 1,
+            link: shrimp_sim::LinkFaultConfig {
+                drop_rate: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dropped_packets_never_arrive_but_leave_the_mesh_idle() {
+        let mut n = net(2, 2);
+        n.set_fault_injection(&always_drop());
+        for _ in 0..4 {
+            n.try_inject(n.now(), pkt(0, 3, 64)).unwrap();
+            n.advance(FAR);
+        }
+        assert!(drain(&mut n, NodeId(3)).is_empty());
+        assert!(n.is_idle(), "drops must not wedge the mesh");
+        assert_eq!(n.stats().packets_dropped, 4);
+        assert_eq!(n.stats().packets_ejected, 0);
+    }
+
+    #[test]
+    fn inactive_fault_config_is_free() {
+        let mut n = net(2, 2);
+        n.set_fault_injection(&shrimp_sim::FaultConfig::default());
+        n.try_inject(SimTime::ZERO, pkt(0, 3, 64)).unwrap();
+        assert_eq!(drain(&mut n, NodeId(3)).len(), 1);
+        assert_eq!(n.stats().packets_dropped, 0);
+        assert_eq!(n.stats().packets_corrupted, 0);
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic() {
+        let lossy = shrimp_sim::FaultConfig {
+            seed: 9,
+            link: shrimp_sim::LinkFaultConfig {
+                drop_rate: 0.3,
+                jitter_rate: 0.2,
+                jitter: (SimDuration::from_ns(1), SimDuration::from_ns(80)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = || {
+            let mut n = net(3, 3);
+            n.set_fault_injection(&lossy);
+            for i in 0..32u64 {
+                let src = (i % 9) as u16;
+                let dst = ((i + 4) % 9) as u16;
+                if src == dst {
+                    continue;
+                }
+                n.try_inject(n.now().max(SimTime::from_picos(i * 10)), pkt(src, dst, 80))
+                    .unwrap();
+                n.advance(FAR);
+            }
+            let mut got = 0;
+            for node in 0..9 {
+                got += drain(&mut n, NodeId(node)).len();
+            }
+            (got, n.stats().clone())
+        };
+        let (a_got, a_stats) = run();
+        let (b_got, b_stats) = run();
+        assert_eq!(a_got, b_got);
+        assert_eq!(a_stats, b_stats);
+        assert!(a_stats.packets_dropped > 0, "0.3 drop rate must fire");
     }
 
     #[test]

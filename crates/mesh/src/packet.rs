@@ -21,6 +21,11 @@ pub trait MeshPayload {
     /// Bytes this payload occupies on a link, excluding the routing
     /// envelope.
     fn byte_len(&self) -> u64;
+
+    /// Flips one bit of the payload's wire image, `bit` counted from the
+    /// first transmitted bit (fault injection models line noise this
+    /// way). Payloads that carry no integrity check may ignore it.
+    fn corrupt_bit(&mut self, _bit: u64) {}
 }
 
 impl MeshPayload for Bytes {
@@ -70,6 +75,12 @@ impl<P: MeshPayload> MeshPacket<P> {
     /// The payload (opaque to the mesh).
     pub fn payload(&self) -> &P {
         &self.payload
+    }
+
+    /// Mutable payload access; fault injection uses it to flip bits
+    /// "on the wire" without re-serializing the packet.
+    pub fn payload_mut(&mut self) -> &mut P {
+        &mut self.payload
     }
 
     /// Consumes the packet, returning the payload.

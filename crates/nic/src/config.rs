@@ -28,6 +28,52 @@ pub struct NicConfig {
     pub max_payload: u64,
     /// Fixed setup cost for the deliberate-update DMA engine per transfer.
     pub dma_setup: SimDuration,
+    /// Link-level go-back-N retransmission. Disabled by default: the
+    /// baseline wire format and timing are then bit-identical to a NIC
+    /// without the engine.
+    pub retx: RetxConfig,
+}
+
+/// Go-back-N retransmission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetxConfig {
+    /// Master switch. When off, packets carry no sequence trailer.
+    pub enabled: bool,
+    /// Per-destination retransmit buffer size in packets; when full the
+    /// NIC stops pulling new data for that destination (backpressure up
+    /// the FIFO chain).
+    pub window_packets: usize,
+    /// Initial retransmit timeout after the last send to a destination.
+    pub base_timeout: SimDuration,
+    /// Exponential-backoff cap for the retransmit timeout.
+    pub max_timeout: SimDuration,
+}
+
+impl RetxConfig {
+    /// The engine switched off (the default).
+    pub fn disabled() -> Self {
+        RetxConfig {
+            enabled: false,
+            ..RetxConfig::reliable()
+        }
+    }
+
+    /// Reliable delivery with parameters sized for the prototype mesh:
+    /// the base timeout comfortably exceeds a page-packet round trip.
+    pub fn reliable() -> Self {
+        RetxConfig {
+            enabled: true,
+            window_packets: 32,
+            base_timeout: SimDuration::from_us(60),
+            max_timeout: SimDuration::from_us(960),
+        }
+    }
+}
+
+impl Default for RetxConfig {
+    fn default() -> Self {
+        RetxConfig::disabled()
+    }
 }
 
 impl NicConfig {
@@ -43,6 +89,7 @@ impl NicConfig {
             merge_window: SimDuration::from_ns(500),
             max_payload: 4096,
             dma_setup: SimDuration::from_ns(200),
+            retx: RetxConfig::disabled(),
         }
     }
 
@@ -62,11 +109,24 @@ impl NicConfig {
             self.in_fifo_threshold <= self.in_fifo_bytes,
             "incoming threshold exceeds capacity"
         );
-        let max_wire = crate::packet::WireHeader::WIRE_BYTES + self.max_payload + 4;
+        let link = if self.retx.enabled {
+            crate::packet::LinkCtl::WIRE_BYTES
+        } else {
+            0
+        };
+        let max_wire = crate::packet::WireHeader::WIRE_BYTES + self.max_payload + link + 4;
         assert!(
             self.out_fifo_bytes >= max_wire && self.in_fifo_bytes >= max_wire,
             "FIFOs must hold at least one maximal packet"
         );
+        if self.retx.enabled {
+            assert!(self.retx.window_packets >= 1, "retx window must be positive");
+            assert!(
+                self.retx.base_timeout > SimDuration::ZERO
+                    && self.retx.base_timeout <= self.retx.max_timeout,
+                "retx timeouts must be positive and ordered"
+            );
+        }
     }
 }
 

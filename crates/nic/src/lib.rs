@@ -52,10 +52,10 @@ pub mod nipt;
 pub mod packet;
 
 pub use command::{CommandOp, CommandSpace};
-pub use config::NicConfig;
+pub use config::{NicConfig, RetxConfig};
 pub use dma::{DmaEngine, DmaStatus};
 pub use error::NicError;
 pub use fifo::PacketFifo;
 pub use nic::{IncomingDelivery, NetworkInterface, NicInterrupt, SnoopOutcome};
 pub use nipt::{Nipt, NiptEntry, OutSegment, UpdatePolicy};
-pub use packet::{crc32, Crc32, Payload, ShrimpPacket, WireHeader, INLINE_PAYLOAD_MAX};
+pub use packet::{crc32, Crc32, FrameKind, LinkCtl, Payload, ShrimpPacket, WireHeader, INLINE_PAYLOAD_MAX};

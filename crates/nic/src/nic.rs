@@ -8,7 +8,10 @@
 
 use shrimp_mem::{PhysAddr, PageNum, WORD_SIZE};
 use shrimp_mesh::{MeshCoord, MeshPacket, MeshShape, NodeId};
-use shrimp_sim::SimTime;
+use shrimp_sim::fault::NicFaultSite;
+use shrimp_sim::{SimDuration, SimTime};
+
+use std::collections::BTreeMap;
 
 use crate::command::{CommandOp, CommandSpace};
 use crate::config::NicConfig;
@@ -16,7 +19,7 @@ use crate::dma::DmaEngine;
 use crate::error::NicError;
 use crate::fifo::PacketFifo;
 use crate::nipt::{Nipt, OutSegment, UpdatePolicy};
-use crate::packet::{Payload, ShrimpPacket, WireHeader};
+use crate::packet::{FrameKind, LinkCtl, Payload, ShrimpPacket, WireHeader};
 
 /// What the NIC did with one snooped bus write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +120,78 @@ pub struct NicStats {
     pub misroutes: u64,
     /// Arriving packets addressed to pages that are not mapped in.
     pub unmapped_drops: u64,
+    /// Data packets re-sent by the go-back-N engine.
+    pub retransmissions: u64,
+    /// Retransmit timeouts that fired (each rewinds one send window).
+    pub retx_timeouts: u64,
+    /// Ack control frames generated.
+    pub acks_sent: u64,
+    /// Ack control frames consumed.
+    pub acks_received: u64,
+    /// Nack control frames generated.
+    pub nacks_sent: u64,
+    /// Nack control frames consumed.
+    pub nacks_received: u64,
+    /// Arriving data frames dropped as already-delivered duplicates.
+    pub dup_drops: u64,
+    /// Arriving data frames dropped for a sequence gap (a predecessor
+    /// was lost; go-back-N refetches from the hole).
+    pub gap_drops: u64,
+    /// Injected receive-FIFO stalls (fault injection).
+    pub fault_stalls: u64,
+}
+
+/// Go-back-N sender state toward one destination node.
+#[derive(Debug, Clone)]
+struct SendPeer {
+    /// Sequence number the next new data frame will carry.
+    next_seq: u32,
+    /// Lowest unacknowledged sequence number.
+    base_seq: u32,
+    /// Frames `base_seq..next_seq`, retained until cumulatively acked.
+    unacked: std::collections::VecDeque<ShrimpPacket>,
+    /// When `Some(s)`, the engine is replaying `s..next_seq` ahead of any
+    /// new data.
+    resend_from: Option<u32>,
+    /// Current retransmit timeout (doubles on expiry, capped).
+    rto: SimDuration,
+    /// Deadline of the running retransmit timer, armed while frames are
+    /// outstanding.
+    timeout_at: Option<SimTime>,
+}
+
+impl SendPeer {
+    fn new(rto: SimDuration) -> Self {
+        SendPeer {
+            next_seq: 0,
+            base_seq: 0,
+            unacked: std::collections::VecDeque::new(),
+            resend_from: None,
+            rto,
+            timeout_at: None,
+        }
+    }
+}
+
+/// Go-back-N receiver state from one source node.
+#[derive(Debug, Clone, Default)]
+struct RecvPeer {
+    /// Next in-order sequence number wanted.
+    expected: u32,
+    /// Last sequence nacked, to suppress a nack storm while the same
+    /// hole drains; cleared on progress.
+    last_nacked: Option<u32>,
+}
+
+/// All go-back-N state of one NIC (present only when
+/// [`crate::RetxConfig::enabled`] is set).
+#[derive(Debug, Clone, Default)]
+struct RetxState {
+    /// Sender books, keyed by destination node id (BTreeMap for
+    /// deterministic iteration order).
+    send: BTreeMap<u16, SendPeer>,
+    /// Receiver books, keyed by source node id.
+    recv: BTreeMap<u16, RecvPeer>,
 }
 
 #[derive(Debug, Clone)]
@@ -147,6 +222,16 @@ pub struct NetworkInterface {
     dma: DmaEngine,
     interrupts: Vec<NicInterrupt>,
     out_threshold_raised: bool,
+    /// Go-back-N engine state; `None` when retransmission is disabled.
+    retx: Option<RetxState>,
+    /// Pending ack/nack frames `(ready_at, dst, frame)`. Control frames
+    /// bypass the data FIFO: the hardware generates them on the receive
+    /// side and data backpressure must not block them (deadlock).
+    ctl_queue: std::collections::VecDeque<(SimTime, NodeId, ShrimpPacket)>,
+    /// Fault injection: transient receive stalls.
+    fault: Option<NicFaultSite>,
+    /// While set, the NIC refuses packets from the network.
+    stall_until: Option<SimTime>,
     stats: NicStats,
 }
 
@@ -174,8 +259,17 @@ impl NetworkInterface {
             dma: DmaEngine::new(),
             interrupts: Vec::new(),
             out_threshold_raised: false,
+            retx: config.retx.enabled.then(RetxState::default),
+            ctl_queue: std::collections::VecDeque::new(),
+            fault: None,
+            stall_until: None,
             stats: NicStats::default(),
         }
+    }
+
+    /// Arms transient receive-stall fault injection on this NIC.
+    pub fn set_fault_injection(&mut self, site: NicFaultSite) {
+        self.fault = Some(site);
     }
 
     /// This NIC's node id.
@@ -319,6 +413,25 @@ impl NetworkInterface {
         if !self.out_fifo.over_threshold() {
             self.out_threshold_raised = false;
         }
+        if self.stall_until.is_some_and(|s| now >= s) {
+            self.stall_until = None;
+        }
+        if let Some(st) = self.retx.as_mut() {
+            let max_rto = self.config.retx.max_timeout;
+            for peer in st.send.values_mut() {
+                if peer.unacked.is_empty() {
+                    peer.timeout_at = None;
+                    peer.resend_from = None;
+                } else if peer.timeout_at.is_some_and(|t| now >= t) {
+                    // Nothing came back in time: go back to the window
+                    // base and double the timeout (capped).
+                    peer.resend_from = Some(peer.base_seq);
+                    peer.rto = (peer.rto * 2).min(max_rto);
+                    peer.timeout_at = Some(now + peer.rto);
+                    self.stats.retx_timeouts += 1;
+                }
+            }
+        }
     }
 
     /// Moves stalled packets into the Outgoing FIFO as space frees,
@@ -335,12 +448,25 @@ impl NetworkInterface {
         }
     }
 
-    /// The next time-based deadline this NIC needs a `poll` at (merge
-    /// window expiry).
+    /// The next time-based deadline this NIC needs a `poll` at: merge
+    /// window expiry, retransmit timer, or the end of an injected stall.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.pending
+        let mut deadline = self
+            .pending
             .as_ref()
-            .map(|p| p.last_write + self.config.merge_window)
+            .map(|p| p.last_write + self.config.merge_window);
+        let fold = |t: SimTime, d: Option<SimTime>| Some(d.map_or(t, |cur| cur.min(t)));
+        if let Some(s) = self.stall_until {
+            deadline = fold(s, deadline);
+        }
+        if let Some(st) = &self.retx {
+            for peer in st.send.values() {
+                if let Some(t) = peer.timeout_at {
+                    deadline = fold(t, deadline);
+                }
+            }
+        }
+        deadline
     }
 
     fn queue_packet(
@@ -381,18 +507,76 @@ impl NetworkInterface {
 
     // ───────────────────────── outgoing: FIFO → mesh ─────────────────────
 
-    /// When the head outgoing packet becomes ready for injection, if any.
-    /// The `try_push` timestamp doubles as the readiness time.
+    /// When the head outgoing packet (data or link control) becomes
+    /// ready for injection, if any. The `try_push` timestamp doubles as
+    /// the readiness time; pending retransmissions are ready immediately.
     pub fn outgoing_ready_at(&self) -> Option<SimTime> {
-        self.out_fifo.peek_with_time().map(|(_, t)| t)
+        let mut ready = self.out_fifo.peek_with_time().map(|(_, t)| t);
+        if let Some((t, _, _)) = self.ctl_queue.front() {
+            ready = Some(ready.map_or(*t, |r| r.min(*t)));
+        }
+        if let Some(st) = &self.retx {
+            if st.send.values().any(|p| p.resend_from.is_some()) {
+                ready = Some(SimTime::ZERO);
+            }
+        }
+        ready
     }
 
-    /// Pops the head outgoing packet as a mesh packet if it is ready by
-    /// `now`. The packet is handed to the mesh whole — no serialization.
+    /// Pops the next outgoing mesh packet if one is ready by `now`:
+    /// ack/nack control frames first, then pending go-back-N resends,
+    /// then new data from the Outgoing FIFO (held back while the
+    /// destination's retransmit window is full — that backpressure is
+    /// what eventually stalls the CPU, per the paper's flow-control
+    /// chain). The packet is handed to the mesh whole — no serialization.
     pub fn pop_outgoing(&mut self, now: SimTime) -> Option<MeshPacket<ShrimpPacket>> {
-        let (_, ready) = self.out_fifo.peek_with_time()?;
+        if let Some((ready, _, _)) = self.ctl_queue.front() {
+            if *ready <= now {
+                let (_, dst, frame) = self.ctl_queue.pop_front().expect("front checked above");
+                return Some(MeshPacket::new(self.node, dst, frame));
+            }
+        }
+        if self.retx.is_some() {
+            if let Some(mp) = self.pop_resend(now) {
+                return Some(mp);
+            }
+        }
+        let (head, ready) = self.out_fifo.peek_with_time()?;
         if ready > now {
             return None;
+        }
+        if self.retx.is_some() {
+            let dst = self.shape.id_at(head.header().dst_coord);
+            let base_rto = self.config.retx.base_timeout;
+            let window = self.config.retx.window_packets;
+            let st = self.retx.as_mut().expect("checked above");
+            let peer = st
+                .send
+                .entry(dst.0)
+                .or_insert_with(|| SendPeer::new(base_rto));
+            if peer.unacked.len() >= window {
+                // Retransmit buffer full: stop draining until acks or a
+                // timeout free it.
+                return None;
+            }
+            let (packet, _) = self.out_fifo.pop().expect("head peeked above");
+            let seq = peer.next_seq;
+            peer.next_seq += 1;
+            let framed = ShrimpPacket::with_link(
+                *packet.header(),
+                packet.into_payload(),
+                LinkCtl {
+                    kind: FrameKind::Data,
+                    seq,
+                },
+            );
+            peer.unacked.push_back(framed.clone());
+            peer.timeout_at = Some(now + peer.rto);
+            self.refill_from_overflow(now);
+            if !self.out_fifo.over_threshold() {
+                self.out_threshold_raised = false;
+            }
+            return Some(MeshPacket::new(self.node, dst, framed));
         }
         let (packet, _) = self.out_fifo.pop()?;
         let dst = self.shape.id_at(packet.header().dst_coord);
@@ -402,6 +586,41 @@ impl NetworkInterface {
             self.out_threshold_raised = false;
         }
         Some(MeshPacket::new(self.node, dst, packet))
+    }
+
+    /// True when link-level control frames or go-back-N replays are
+    /// waiting to be injected. Always false with retransmission off, so
+    /// callers can gate extra drain passes on it for free.
+    pub fn has_pending_control(&self) -> bool {
+        !self.ctl_queue.is_empty()
+            || self
+                .retx
+                .as_ref()
+                .is_some_and(|st| st.send.values().any(|p| p.resend_from.is_some()))
+    }
+
+    /// Emits the next frame of an in-progress go-back-N replay, if any.
+    fn pop_resend(&mut self, now: SimTime) -> Option<MeshPacket<ShrimpPacket>> {
+        let node = self.node;
+        let st = self.retx.as_mut()?;
+        for (&peer_id, peer) in st.send.iter_mut() {
+            let Some(from) = peer.resend_from else {
+                continue;
+            };
+            let idx = from.wrapping_sub(peer.base_seq) as usize;
+            if idx >= peer.unacked.len() {
+                peer.resend_from = None;
+                continue;
+            }
+            let framed = peer.unacked[idx].clone();
+            let next = from + 1;
+            let more = (next.wrapping_sub(peer.base_seq) as usize) < peer.unacked.len();
+            peer.resend_from = more.then_some(next);
+            peer.timeout_at = Some(now + peer.rto);
+            self.stats.retransmissions += 1;
+            return Some(MeshPacket::new(node, NodeId(peer_id), framed));
+        }
+        None
     }
 
     /// True while the Outgoing FIFO is over its threshold — the CPU must
@@ -530,13 +749,23 @@ impl NetworkInterface {
         !self.in_fifo.over_threshold()
     }
 
-    /// Accepts one packet from the mesh: verifies routing and CRC and
-    /// queues it on the Incoming FIFO. The CRC check recomputes the
-    /// checksum over header and payload slices — no wire buffer exists.
+    /// [`NetworkInterface::can_accept_from_network`], additionally
+    /// honouring an injected transient receive stall at time `now`.
+    pub fn can_accept_from_network_at(&self, now: SimTime) -> bool {
+        self.stall_until.is_none_or(|s| now >= s) && self.can_accept_from_network()
+    }
+
+    /// Accepts one packet from the mesh: verifies routing and CRC, then
+    /// either consumes it (link-level ack/nack), sequence-checks it
+    /// (go-back-N data frame) or queues it straight on the Incoming FIFO
+    /// (legacy unframed packet). The CRC check recomputes the checksum
+    /// over header, payload and trailer slices — no wire buffer exists.
     ///
     /// # Errors
     ///
     /// Returns the verification error; the packet is dropped and counted.
+    /// A lost data frame is *not* an error here: go-back-N recovers it
+    /// invisibly via nack or timeout.
     pub fn accept_packet(
         &mut self,
         now: SimTime,
@@ -544,6 +773,9 @@ impl NetworkInterface {
     ) -> Result<(), NicError> {
         let packet = packet.into_payload();
         if !packet.verify_crc() {
+            // Corruption anywhere (header, payload, seq trailer) lands
+            // here; with go-back-N on, the sender's timeout or a later
+            // gap-nack triggers the resend.
             self.stats.crc_drops += 1;
             return Err(NicError::BadCrc);
         }
@@ -554,11 +786,168 @@ impl NetworkInterface {
                 local: self.coord,
             });
         }
-        self.stats.packets_received += 1;
-        self.stats.bytes_received += packet.payload().len() as u64;
-        self.in_fifo
-            .try_push(now, packet)
-            .map_err(|_| NicError::IncomingFifoFull)
+        self.maybe_stall_after_arrival(now);
+        let src = packet.header().src;
+        match packet.link() {
+            None => {
+                self.stats.packets_received += 1;
+                self.stats.bytes_received += packet.payload().len() as u64;
+                self.in_fifo
+                    .try_push(now, packet)
+                    .map_err(|_| NicError::IncomingFifoFull)
+            }
+            Some(LinkCtl {
+                kind: FrameKind::Ack,
+                seq,
+            }) => {
+                self.stats.acks_received += 1;
+                self.handle_ack(now, src, seq);
+                Ok(())
+            }
+            Some(LinkCtl {
+                kind: FrameKind::Nack,
+                seq,
+            }) => {
+                self.stats.nacks_received += 1;
+                self.handle_nack(now, src, seq);
+                Ok(())
+            }
+            Some(LinkCtl {
+                kind: FrameKind::Data,
+                seq,
+            }) => self.accept_data_frame(now, src, seq, packet),
+        }
+    }
+
+    /// Sequence-checks one framed data packet against the per-source
+    /// receiver book: in-order frames are delivered and acked, duplicates
+    /// re-acked, gaps nacked (once per hole).
+    fn accept_data_frame(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        seq: u32,
+        packet: ShrimpPacket,
+    ) -> Result<(), NicError> {
+        let Some(st) = self.retx.as_mut() else {
+            // A framed packet with the local engine off (mixed
+            // configuration): deliver it like a legacy packet.
+            self.stats.packets_received += 1;
+            self.stats.bytes_received += packet.payload().len() as u64;
+            return self
+                .in_fifo
+                .try_push(now, packet)
+                .map_err(|_| NicError::IncomingFifoFull);
+        };
+        let peer = st.recv.entry(src.0).or_default();
+        let expected = peer.expected;
+        if seq == expected {
+            let payload_len = packet.payload().len() as u64;
+            if let Err(packet) = self.in_fifo.try_push(now, packet) {
+                // FIFO full: drop without advancing; the sender's
+                // timeout replays it once we drain.
+                drop(packet);
+                return Err(NicError::IncomingFifoFull);
+            }
+            self.stats.packets_received += 1;
+            self.stats.bytes_received += payload_len;
+            let st = self.retx.as_mut().expect("engine checked above");
+            let peer = st.recv.get_mut(&src.0).expect("entry created above");
+            peer.expected = expected + 1;
+            peer.last_nacked = None;
+            let ack = peer.expected;
+            self.queue_control(now, src, FrameKind::Ack, ack);
+            Ok(())
+        } else if seq < expected {
+            // Already delivered (a replayed frame): re-ack so a lost ack
+            // cannot stall the sender forever.
+            self.stats.dup_drops += 1;
+            self.queue_control(now, src, FrameKind::Ack, expected);
+            Ok(())
+        } else {
+            // Gap: a predecessor died on the wire. Request a replay from
+            // the hole, but only once per hole — the frames already in
+            // flight behind it would each re-trigger it otherwise.
+            self.stats.gap_drops += 1;
+            let nack = peer.last_nacked != Some(expected);
+            peer.last_nacked = Some(expected);
+            if nack {
+                self.queue_control(now, src, FrameKind::Nack, expected);
+            }
+            Ok(())
+        }
+    }
+
+    /// Cumulative ack: every sequence below `seq` has arrived at `peer`.
+    fn handle_ack(&mut self, now: SimTime, peer_node: NodeId, seq: u32) {
+        let base_rto = self.config.retx.base_timeout;
+        let Some(st) = self.retx.as_mut() else {
+            return;
+        };
+        let Some(peer) = st.send.get_mut(&peer_node.0) else {
+            return;
+        };
+        let mut progressed = false;
+        while peer.base_seq < seq && !peer.unacked.is_empty() {
+            peer.unacked.pop_front();
+            peer.base_seq += 1;
+            progressed = true;
+        }
+        if progressed {
+            // Progress restarts the timer and resets the backoff.
+            peer.rto = base_rto;
+            peer.timeout_at = if peer.unacked.is_empty() {
+                None
+            } else {
+                Some(now + peer.rto)
+            };
+            if let Some(r) = peer.resend_from {
+                let r = r.max(peer.base_seq);
+                let live = (r.wrapping_sub(peer.base_seq) as usize) < peer.unacked.len();
+                peer.resend_from = live.then_some(r);
+            }
+        }
+    }
+
+    /// Go-back-N request: replay everything from `seq` on. Also carries
+    /// the cumulative-ack meaning for sequences below `seq`.
+    fn handle_nack(&mut self, now: SimTime, peer_node: NodeId, seq: u32) {
+        self.handle_ack(now, peer_node, seq);
+        let Some(st) = self.retx.as_mut() else {
+            return;
+        };
+        let Some(peer) = st.send.get_mut(&peer_node.0) else {
+            return;
+        };
+        if seq >= peer.base_seq && !peer.unacked.is_empty() {
+            peer.resend_from = Some(peer.base_seq);
+            peer.timeout_at = Some(now + peer.rto);
+        }
+    }
+
+    /// Queues a link-level control frame for immediate injection.
+    fn queue_control(&mut self, now: SimTime, dst: NodeId, kind: FrameKind, seq: u32) {
+        match kind {
+            FrameKind::Ack => self.stats.acks_sent += 1,
+            FrameKind::Nack => self.stats.nacks_sent += 1,
+            FrameKind::Data => unreachable!("data frames travel via the FIFO"),
+        }
+        let frame = ShrimpPacket::control(self.shape.coord_of(dst), self.node, kind, seq);
+        self.ctl_queue.push_back((now, dst, frame));
+    }
+
+    /// Fault injection: after each good arrival, the receive port may
+    /// wedge shut for a while.
+    fn maybe_stall_after_arrival(&mut self, now: SimTime) {
+        if let Some(site) = self.fault.as_mut() {
+            if let Some(d) = site.decide_stall() {
+                let until = now + d;
+                if self.stall_until.is_none_or(|s| until > s) {
+                    self.stall_until = Some(until);
+                }
+                self.stats.fault_stalls += 1;
+            }
+        }
     }
 
     /// Pops the head of the Incoming FIFO once it has cleared the receive
@@ -1007,5 +1396,195 @@ mod tests {
         while n.pop_outgoing(SimTime::from_picos(u64::MAX / 2)).is_some() {}
         n.poll(t(writes));
         assert!(!n.cpu_must_stall());
+    }
+
+    // ───────────────────── go-back-N retransmission ───────────────────────
+
+    use crate::config::RetxConfig;
+
+    fn rnic(node: u16) -> NetworkInterface {
+        let cfg = NicConfig {
+            retx: RetxConfig::reliable(),
+            ..NicConfig::default()
+        };
+        NetworkInterface::new(NodeId(node), shape(), cfg, 64)
+    }
+
+    /// A sender NIC (node 0) with page 2 mapped single-word to node 1's
+    /// page 4, and the matching receiver NIC.
+    fn rpair() -> (NetworkInterface, NetworkInterface) {
+        let mut s = rnic(0);
+        map_out(&mut s, 2, 1, 4, UpdatePolicy::AutomaticSingle);
+        let mut r = rnic(1);
+        r.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        (s, r)
+    }
+
+    /// Snoops word `i` on the sender and pops the framed mesh packet.
+    fn send_word(s: &mut NetworkInterface, i: u32, at_ns: u64) -> MeshPacket<ShrimpPacket> {
+        let addr = PageNum::new(2).at_offset(u64::from(i) * 4);
+        assert_eq!(s.snoop_write(t(at_ns), addr, &i.to_le_bytes()), SnoopOutcome::Queued);
+        s.pop_outgoing(t(at_ns + 1000)).expect("framed data packet")
+    }
+
+    /// Drains the receiver's control queue into the sender.
+    fn relay_ctl(r: &mut NetworkInterface, s: &mut NetworkInterface, at_ns: u64) -> usize {
+        let mut n = 0;
+        while let Some(mp) = r.pop_outgoing(t(at_ns)) {
+            s.accept_packet(t(at_ns), mp).unwrap();
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn retx_data_frames_carry_sequence_numbers() {
+        let (mut s, _r) = rpair();
+        for i in 0..3 {
+            let mp = send_word(&mut s, i, u64::from(i) * 2000);
+            let link = mp.payload().link().expect("retx frames data");
+            assert_eq!(link.kind, FrameKind::Data);
+            assert_eq!(link.seq, i);
+            assert!(mp.payload().verify_crc(), "CRC covers the trailer");
+        }
+    }
+
+    #[test]
+    fn retx_acks_retire_the_window() {
+        let (mut s, mut r) = rpair();
+        for i in 0..3 {
+            let mp = send_word(&mut s, i, u64::from(i) * 2000);
+            r.accept_packet(t(u64::from(i) * 2000 + 1100), mp).unwrap();
+        }
+        assert_eq!(r.stats().packets_received, 3);
+        assert_eq!(r.stats().acks_sent, 3);
+        assert_eq!(relay_ctl(&mut r, &mut s, 10_000), 3);
+        assert_eq!(s.stats().acks_received, 3);
+        // Everything acked: no retransmit timer remains.
+        assert!(s.next_deadline().is_none());
+        // In-order delivery out the far side.
+        for i in 0..3u32 {
+            let d = r.pop_incoming(t(50_000)).unwrap().unwrap();
+            assert_eq!(d.data.as_slice(), &i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn retx_gap_nack_triggers_go_back_n() {
+        let (mut s, mut r) = rpair();
+        let lost = send_word(&mut s, 0, 0);
+        drop(lost); // the mesh ate frame 0
+        let mp1 = send_word(&mut s, 1, 2000);
+        r.accept_packet(t(3100), mp1).unwrap();
+        assert_eq!(r.stats().gap_drops, 1);
+        assert_eq!(r.stats().nacks_sent, 1);
+        assert_eq!(r.stats().packets_received, 0, "out-of-order is not delivered");
+        // Nack reaches the sender: it replays 0 and 1.
+        assert_eq!(relay_ctl(&mut r, &mut s, 4000), 1);
+        assert_eq!(s.stats().nacks_received, 1);
+        let r0 = s.pop_outgoing(t(4000)).expect("replay of frame 0");
+        assert_eq!(r0.payload().link().unwrap().seq, 0);
+        let r1 = s.pop_outgoing(t(4000)).expect("replay of frame 1");
+        assert_eq!(r1.payload().link().unwrap().seq, 1);
+        assert_eq!(s.stats().retransmissions, 2);
+        r.accept_packet(t(5000), r0).unwrap();
+        r.accept_packet(t(5100), r1).unwrap();
+        assert_eq!(r.stats().packets_received, 2);
+        relay_ctl(&mut r, &mut s, 6000);
+        assert!(s.next_deadline().is_none(), "window fully retired");
+        // Payload order is preserved end to end.
+        for i in 0..2u32 {
+            let d = r.pop_incoming(t(50_000)).unwrap().unwrap();
+            assert_eq!(d.data.as_slice(), &i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn retx_duplicates_are_dropped_and_reacked() {
+        let (mut s, mut r) = rpair();
+        let mp = send_word(&mut s, 0, 0);
+        let dup = mp.clone();
+        r.accept_packet(t(1100), mp).unwrap();
+        r.accept_packet(t(1200), dup).unwrap();
+        assert_eq!(r.stats().packets_received, 1);
+        assert_eq!(r.stats().dup_drops, 1);
+        // Both arrivals ack, so a lost first ack cannot wedge the sender.
+        assert_eq!(r.stats().acks_sent, 2);
+    }
+
+    #[test]
+    fn retx_timeout_replays_with_backoff() {
+        let (mut s, mut r) = rpair();
+        let mp = send_word(&mut s, 0, 0);
+        drop(mp); // lost, and no later frame will surface the gap
+        let base = s.config().retx.base_timeout;
+        let first_deadline = s.next_deadline().expect("timer armed");
+        s.poll(first_deadline);
+        assert_eq!(s.stats().retx_timeouts, 1);
+        let replay = s.pop_outgoing(first_deadline).expect("timeout replay");
+        assert_eq!(replay.payload().link().unwrap().seq, 0);
+        assert_eq!(s.stats().retransmissions, 1);
+        // Backoff: the next timer is 2× base after the replay.
+        let second_deadline = s.next_deadline().expect("timer re-armed");
+        assert_eq!(second_deadline, first_deadline + base * 2);
+        // Delivery + ack cancels the timer and resets the backoff.
+        r.accept_packet(second_deadline, replay).unwrap();
+        relay_ctl(&mut r, &mut s, 1_000_000);
+        assert!(s.next_deadline().is_none());
+    }
+
+    #[test]
+    fn retx_window_full_asserts_backpressure() {
+        let cfg = NicConfig {
+            retx: RetxConfig {
+                window_packets: 2,
+                ..RetxConfig::reliable()
+            },
+            ..NicConfig::default()
+        };
+        let mut s = NetworkInterface::new(NodeId(0), shape(), cfg, 64);
+        map_out(&mut s, 2, 1, 4, UpdatePolicy::AutomaticSingle);
+        let mut r = rnic(1);
+        r.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        for i in 0..3u32 {
+            let addr = PageNum::new(2).at_offset(u64::from(i) * 4);
+            s.snoop_write(t(u64::from(i) * 10), addr, &i.to_le_bytes());
+        }
+        let a = s.pop_outgoing(t(5000)).expect("frame 0");
+        let _b = s.pop_outgoing(t(5000)).expect("frame 1");
+        assert!(
+            s.pop_outgoing(t(5000)).is_none(),
+            "window of 2 must hold back the third frame"
+        );
+        // An ack for frame 0 reopens the window.
+        r.accept_packet(t(5100), a).unwrap();
+        relay_ctl(&mut r, &mut s, 6000);
+        let c = s.pop_outgoing(t(6000)).expect("window reopened");
+        assert_eq!(c.payload().link().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn injected_stall_gates_acceptance_until_deadline() {
+        use shrimp_sim::fault::{FaultConfig, NicFaultConfig};
+        let mut n = nic();
+        let cfg = FaultConfig {
+            seed: 3,
+            nic: NicFaultConfig {
+                stall_rate: 1.0,
+                stall: (SimDuration::from_ns(500), SimDuration::from_ns(500)),
+            },
+            ..FaultConfig::default()
+        };
+        n.set_fault_injection(cfg.nic_site(0).expect("active"));
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        assert!(n.can_accept_from_network_at(t(0)));
+        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 8]);
+        n.accept_packet(t(0), mp).unwrap();
+        assert_eq!(n.stats().fault_stalls, 1);
+        assert!(!n.can_accept_from_network_at(t(100)), "stalled");
+        assert_eq!(n.next_deadline(), Some(t(500)), "wakeup at stall end");
+        assert!(n.can_accept_from_network_at(t(500)), "stall expired");
+        n.poll(t(500));
+        assert!(n.next_deadline().is_none());
     }
 }

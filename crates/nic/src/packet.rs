@@ -53,6 +53,60 @@ impl WireHeader {
     }
 }
 
+/// Role of a link-level frame when retransmission is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An ordinary data packet carrying a sequence number.
+    Data,
+    /// Cumulative acknowledgement: every seq below `seq` arrived.
+    Ack,
+    /// Go-back-N request: resend everything from `seq` on.
+    Nack,
+}
+
+impl FrameKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Nack => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Ack),
+            2 => Some(FrameKind::Nack),
+            _ => None,
+        }
+    }
+}
+
+/// Link-level control trailer carried only when the go-back-N engine is
+/// enabled: a frame kind byte plus a per-(src,dst) sequence number. Legacy
+/// packets (retransmission off) omit it entirely, so the baseline wire
+/// format and CRC are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCtl {
+    /// What this frame is.
+    pub kind: FrameKind,
+    /// Sequence number (data) or cumulative ack/nack point (control).
+    pub seq: u32,
+}
+
+impl LinkCtl {
+    /// Encoded trailer size: kind (1) + seq (4).
+    pub const WIRE_BYTES: u64 = 5;
+
+    fn wire_bytes(&self) -> [u8; Self::WIRE_BYTES as usize] {
+        let mut b = [0u8; Self::WIRE_BYTES as usize];
+        b[0] = self.kind.to_wire();
+        b[1..5].copy_from_slice(&self.seq.to_le_bytes());
+        b
+    }
+}
+
 /// Largest payload stored inline, without touching the heap. Snooped
 /// automatic-update packets carry a single word (4 bytes), so the common
 /// small packet never allocates.
@@ -103,6 +157,19 @@ impl Payload {
     /// True when the payload carries no bytes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Flips one bit in place. A shared payload is copied first so other
+    /// holders of the buffer are unaffected (fault injection only).
+    fn flip_bit(&mut self, byte: usize, mask: u8) {
+        match self {
+            Payload::Inline { buf, .. } => buf[byte] ^= mask,
+            Payload::Shared(b) => {
+                let mut v = b.to_vec();
+                v[byte] ^= mask;
+                *b = Bytes::from(v);
+            }
+        }
     }
 }
 
@@ -186,6 +253,9 @@ impl AsRef<[u8]> for Payload {
 pub struct ShrimpPacket {
     header: WireHeader,
     payload: Payload,
+    /// Present only when the go-back-N engine framed the packet; legacy
+    /// packets carry no trailer and their wire image is unchanged.
+    link: Option<LinkCtl>,
     crc: u32,
 }
 
@@ -198,12 +268,45 @@ impl ShrimpPacket {
     pub fn new(header: WireHeader, payload: impl Into<Payload>) -> Self {
         let payload = payload.into();
         assert!(payload.len() <= u16::MAX as usize, "payload too large");
-        let crc = body_crc(&header, payload.as_slice());
+        let crc = body_crc(&header, payload.as_slice(), None);
         ShrimpPacket {
             header,
             payload,
+            link: None,
             crc,
         }
+    }
+
+    /// Builds a sequence-framed packet (data or control), computing its
+    /// CRC over header, payload *and* the link trailer so trailer
+    /// corruption is caught like any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u16::MAX` bytes (the length field).
+    pub fn with_link(header: WireHeader, payload: impl Into<Payload>, link: LinkCtl) -> Self {
+        let payload = payload.into();
+        assert!(payload.len() <= u16::MAX as usize, "payload too large");
+        let crc = body_crc(&header, payload.as_slice(), Some(link));
+        ShrimpPacket {
+            header,
+            payload,
+            link: Some(link),
+            crc,
+        }
+    }
+
+    /// Builds an empty-payload ack/nack control frame.
+    pub fn control(dst_coord: MeshCoord, src: NodeId, kind: FrameKind, seq: u32) -> Self {
+        ShrimpPacket::with_link(
+            WireHeader {
+                dst_coord,
+                src,
+                dst_addr: PhysAddr::new(0),
+            },
+            Payload::default(),
+            LinkCtl { kind, seq },
+        )
     }
 
     /// Reassembles a packet from parts without recomputing the CRC — the
@@ -215,6 +318,7 @@ impl ShrimpPacket {
         ShrimpPacket {
             header,
             payload,
+            link: None,
             crc,
         }
     }
@@ -234,30 +338,89 @@ impl ShrimpPacket {
         self.payload
     }
 
+    /// The link-level trailer, if the packet is sequence-framed.
+    pub fn link(&self) -> Option<LinkCtl> {
+        self.link
+    }
+
     /// The CRC32 carried by the packet.
     pub fn crc(&self) -> u32 {
         self.crc
     }
 
-    /// Recomputes the CRC over header and payload and compares it with
-    /// the stored one — what the receiving NIC does on arrival.
+    /// Recomputes the CRC over header, payload and any link trailer and
+    /// compares it with the stored one — what the receiving NIC does on
+    /// arrival.
     pub fn verify_crc(&self) -> bool {
-        body_crc(&self.header, self.payload.as_slice()) == self.crc
+        body_crc(&self.header, self.payload.as_slice(), self.link) == self.crc
     }
 
-    /// Total encoded size in bytes (header + payload + CRC32).
+    /// Total encoded size in bytes (header + payload [+ link trailer]
+    /// + CRC32).
     pub fn wire_len(&self) -> u64 {
-        WireHeader::WIRE_BYTES + self.payload.len() as u64 + 4
+        let link = if self.link.is_some() {
+            LinkCtl::WIRE_BYTES
+        } else {
+            0
+        };
+        WireHeader::WIRE_BYTES + self.payload.len() as u64 + link + 4
     }
 
-    /// Serializes to wire bytes: header, payload, then the *stored* CRC
-    /// (so a corrupted packet encodes to corrupted wire bytes).
+    /// Serializes to wire bytes: header, payload, link trailer (when
+    /// present), then the *stored* CRC (so a corrupted packet encodes to
+    /// corrupted wire bytes).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len() as usize);
         out.extend_from_slice(&self.header.wire_bytes(self.payload.len() as u16));
         out.extend_from_slice(self.payload.as_slice());
+        if let Some(link) = self.link {
+            out.extend_from_slice(&link.wire_bytes());
+        }
         out.extend_from_slice(&self.crc.to_le_bytes());
         out
+    }
+
+    /// Flips one bit of the packet's wire image in place, keeping the
+    /// stored CRC for every region except the CRC field itself — exactly
+    /// what line noise does to a packet in flight. `bit` is taken modulo
+    /// the wire size. Bits of the length field (which the structured
+    /// packet cannot represent inconsistently) are folded into the CRC
+    /// word: either way the checksum no longer matches the body.
+    pub fn corrupt_bit(&mut self, bit: u64) {
+        let bit = bit % (self.wire_len() * 8);
+        let byte = bit / 8;
+        let mask = 1u8 << (bit % 8);
+        const H: u64 = WireHeader::WIRE_BYTES;
+        let plen = self.payload.len() as u64;
+        let link_end = H + plen + if self.link.is_some() {
+            LinkCtl::WIRE_BYTES
+        } else {
+            0
+        };
+        if byte < H {
+            match byte {
+                0 => self.header.dst_coord.x ^= mask as u16,
+                1 => self.header.dst_coord.y ^= mask as u16,
+                2 | 3 => self.header.src.0 ^= (mask as u16) << ((byte - 2) * 8),
+                4..=11 => {
+                    let raw = self.header.dst_addr.raw() ^ ((mask as u64) << ((byte - 4) * 8));
+                    self.header.dst_addr = PhysAddr::new(raw);
+                }
+                _ => self.crc ^= mask as u32,
+            }
+        } else if byte < H + plen {
+            self.payload.flip_bit((byte - H) as usize, mask);
+        } else if byte < link_end {
+            let link = self.link.as_mut().expect("link region implies trailer");
+            match byte - (H + plen) {
+                // The kind byte folds into the seq field: any flip still
+                // de-syncs the trailer from the stored CRC.
+                0 => link.seq ^= mask as u32,
+                off => link.seq ^= (mask as u32) << ((off - 1) * 8),
+            }
+        } else {
+            self.crc ^= (mask as u32) << ((byte - link_end) * 8);
+        }
     }
 
     /// Parses and verifies wire bytes.
@@ -277,9 +440,18 @@ impl ShrimpPacket {
             return Err(NicError::BadCrc);
         }
         let len = u16::from_le_bytes([body[12], body[13]]) as usize;
-        if body.len() != H + len {
+        const L: usize = LinkCtl::WIRE_BYTES as usize;
+        let link = if body.len() == H + len {
+            None
+        } else if body.len() == H + len + L {
+            let trailer = &body[H + len..];
+            let kind = FrameKind::from_wire(trailer[0])
+                .ok_or(NicError::Malformed("bad frame kind"))?;
+            let seq = u32::from_le_bytes(trailer[1..5].try_into().expect("4-byte seq"));
+            Some(LinkCtl { kind, seq })
+        } else {
             return Err(NicError::Malformed("length field mismatch"));
-        }
+        };
         let header = WireHeader {
             dst_coord: MeshCoord {
                 x: body[0] as u16,
@@ -290,27 +462,37 @@ impl ShrimpPacket {
                 body[4..12].try_into().expect("8-byte address"),
             )),
         };
-        Ok(ShrimpPacket::from_parts(
+        let mut packet = ShrimpPacket::from_parts(
             header,
-            Payload::copy_from_slice(&body[H..]),
+            Payload::copy_from_slice(&body[H..H + len]),
             stored,
-        ))
+        );
+        packet.link = link;
+        Ok(packet)
     }
 }
 
-/// The mesh ships SHRIMP packets whole; only the wire size matters to it.
+/// The mesh ships SHRIMP packets whole; it needs the wire size for link
+/// timing and the bit-flip hook for fault injection.
 impl MeshPayload for ShrimpPacket {
     fn byte_len(&self) -> u64 {
         self.wire_len()
     }
+
+    fn corrupt_bit(&mut self, bit: u64) {
+        ShrimpPacket::corrupt_bit(self, bit);
+    }
 }
 
-/// CRC of the logical wire body (header bytes then payload), streamed —
-/// no wire buffer is materialized.
-fn body_crc(header: &WireHeader, payload: &[u8]) -> u32 {
+/// CRC of the logical wire body (header bytes, payload, then any link
+/// trailer), streamed — no wire buffer is materialized.
+fn body_crc(header: &WireHeader, payload: &[u8], link: Option<LinkCtl>) -> u32 {
     let mut crc = Crc32::new();
     crc.update(&header.wire_bytes(payload.len() as u16));
     crc.update(payload);
+    if let Some(link) = link {
+        crc.update(&link.wire_bytes());
+    }
     crc.finish()
 }
 
@@ -496,5 +678,97 @@ mod tests {
     #[should_panic(expected = "payload too large")]
     fn oversized_payload_rejected() {
         ShrimpPacket::new(header(), vec![0; 70_000]);
+    }
+
+    #[test]
+    fn link_framed_roundtrip() {
+        let link = LinkCtl {
+            kind: FrameKind::Data,
+            seq: 0xdead_0042,
+        };
+        let p = ShrimpPacket::with_link(header(), vec![3u8; 21], link);
+        assert_eq!(
+            p.wire_len(),
+            WireHeader::WIRE_BYTES + 21 + LinkCtl::WIRE_BYTES + 4
+        );
+        let d = ShrimpPacket::decode(&p.encode()).unwrap();
+        assert_eq!(d.link(), Some(link));
+        assert_eq!(d, p);
+        assert!(d.verify_crc());
+    }
+
+    #[test]
+    fn control_frames_are_empty_and_checked() {
+        let p = ShrimpPacket::control(MeshCoord { x: 1, y: 1 }, NodeId(4), FrameKind::Nack, 17);
+        assert!(p.payload().is_empty());
+        assert!(p.verify_crc());
+        let d = ShrimpPacket::decode(&p.encode()).unwrap();
+        assert_eq!(
+            d.link(),
+            Some(LinkCtl {
+                kind: FrameKind::Nack,
+                seq: 17
+            })
+        );
+    }
+
+    #[test]
+    fn link_trailer_corruption_is_detected() {
+        let p = ShrimpPacket::with_link(
+            header(),
+            vec![8u8; 12],
+            LinkCtl {
+                kind: FrameKind::Data,
+                seq: 7,
+            },
+        );
+        let wire = p.encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                ShrimpPacket::decode(&bad).is_err(),
+                "flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_corrupt_bit_tracks_the_wire() {
+        // Flipping any single bit via corrupt_bit must (a) fail
+        // verify_crc and (b) produce the same wire image as flipping the
+        // encoded bytes directly.
+        for with_link in [false, true] {
+            let fresh = || {
+                if with_link {
+                    ShrimpPacket::with_link(
+                        header(),
+                        vec![0xa5; 16],
+                        LinkCtl {
+                            kind: FrameKind::Data,
+                            seq: 3,
+                        },
+                    )
+                } else {
+                    ShrimpPacket::new(header(), vec![0xa5; 16])
+                }
+            };
+            let clean_wire = fresh().encode();
+            for bit in 0..(fresh().wire_len() * 8) {
+                let mut p = fresh();
+                p.corrupt_bit(bit);
+                assert!(!p.verify_crc(), "bit {bit} ({with_link}) must stale the CRC");
+                // Length-field and frame-kind bits are folded elsewhere,
+                // so only check wire equivalence for directly-mapped bits.
+                let byte = (bit / 8) as usize;
+                let kind_byte = WireHeader::WIRE_BYTES as usize + 16;
+                if (12..14).contains(&byte) || (with_link && byte == kind_byte) {
+                    continue;
+                }
+                let mut wire = clean_wire.clone();
+                wire[byte] ^= 1 << (bit % 8);
+                assert_eq!(p.encode(), wire, "bit {bit} maps onto the wire image");
+            }
+        }
     }
 }

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use shrimp_mem::{PageNum, PhysAddr, PAGE_SIZE};
 use shrimp_mesh::{MeshCoord, MeshShape, NodeId};
 use shrimp_nic::{
-    CommandOp, NetworkInterface, NicConfig, OutSegment, PacketFifo, ShrimpPacket, UpdatePolicy,
-    WireHeader,
+    crc32, CommandOp, Crc32, FrameKind, LinkCtl, NetworkInterface, NicConfig, OutSegment,
+    PacketFifo, ShrimpPacket, UpdatePolicy, WireHeader,
 };
 use shrimp_sim::{SimDuration, SimTime};
 
@@ -145,6 +145,109 @@ proptest! {
         }
         prop_assert_eq!(drained, accepted);
         prop_assert!(n.can_accept_from_network());
+    }
+    /// Line-noise soundness: any combination of 1–4 distinct bit flips
+    /// anywhere on the wire image — header, payload, link trailer or
+    /// the CRC word itself — must fail the CRC check and be rejected by
+    /// `accept_packet`. Payloads stay under 300 bytes so the whole
+    /// frame is inside CRC-32's Hamming-distance-5 length bound and
+    /// four flips are guaranteed detectable.
+    #[test]
+    fn bit_flips_are_always_detected(
+        payload in prop::collection::vec(any::<u8>(), 0usize..300),
+        raw_bits in prop::collection::vec(any::<u64>(), 1usize..5),
+        seq in any::<u32>(),
+        framed in any::<bool>(),
+    ) {
+        let mut n = nic();
+        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
+        let header = WireHeader {
+            dst_coord: n.coord(),
+            src: NodeId(1),
+            dst_addr: PageNum::new(4).base(),
+        };
+        let mut pkt = if framed {
+            ShrimpPacket::with_link(header, payload, LinkCtl { kind: FrameKind::Data, seq })
+        } else {
+            ShrimpPacket::new(header, payload)
+        };
+        prop_assert!(pkt.verify_crc());
+
+        // Reduce to the distinct wire bits flipped an odd number of
+        // times; an even count cancels itself out.
+        let total_bits = pkt.wire_len() * 8;
+        let mut counts = std::collections::BTreeMap::new();
+        for b in raw_bits {
+            *counts.entry(b % total_bits).or_insert(0u32) += 1;
+        }
+        let bits: Vec<u64> = counts
+            .into_iter()
+            .filter(|&(_, c)| c % 2 == 1)
+            .map(|(b, _)| b)
+            .collect();
+        if bits.is_empty() {
+            return Ok(());
+        }
+        for &b in &bits {
+            pkt.corrupt_bit(b);
+        }
+        prop_assert!(!pkt.verify_crc(), "flips {bits:?} slipped past the CRC");
+
+        let before = n.stats().crc_drops;
+        let mp = shrimp_mesh::MeshPacket::new(NodeId(1), NodeId(0), pkt);
+        prop_assert!(
+            n.accept_packet(SimTime::ZERO, mp).is_err(),
+            "accept_packet swallowed a corrupted frame (flips {bits:?})"
+        );
+        prop_assert_eq!(n.stats().crc_drops, before + 1);
+    }
+
+    /// The streaming checksum agrees with encode()-then-checksum for
+    /// arbitrary packets, framed or not, no matter how the bytes are
+    /// chunked on their way into the hasher.
+    #[test]
+    fn streamed_crc_matches_block_crc(
+        payload in prop::collection::vec(any::<u8>(), 0usize..600),
+        chunks in prop::collection::vec(1usize..97, 0usize..40),
+        seq in any::<u32>(),
+        framed in any::<bool>(),
+    ) {
+        let header = WireHeader {
+            dst_coord: MeshCoord { x: 1, y: 0 },
+            src: NodeId(0),
+            dst_addr: PhysAddr::new(0x2468),
+        };
+        let pkt = if framed {
+            ShrimpPacket::with_link(header, payload, LinkCtl { kind: FrameKind::Nack, seq })
+        } else {
+            ShrimpPacket::new(header, payload)
+        };
+        let encoded = pkt.encode();
+        let body = &encoded[..encoded.len() - 4];
+
+        // The packet's stored CRC (computed by streaming header, payload
+        // and trailer separately) equals the block checksum of the
+        // serialized body.
+        prop_assert_eq!(pkt.crc(), crc32(body));
+        prop_assert!(pkt.verify_crc());
+
+        // Feeding the same bytes in arbitrary chunk sizes changes nothing.
+        let mut streamed = Crc32::new();
+        let mut off = 0;
+        for c in chunks {
+            if off >= body.len() {
+                break;
+            }
+            let end = (off + c).min(body.len());
+            streamed.update(&body[off..end]);
+            off = end;
+        }
+        streamed.update(&body[off..]);
+        prop_assert_eq!(streamed.finish(), pkt.crc());
+
+        // And the wire image round-trips.
+        let back = ShrimpPacket::decode(&encoded).expect("decode");
+        prop_assert_eq!(back, pkt);
     }
 }
 

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,9 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{
+    FaultConfig, LinkFault, LinkFaultConfig, LinkFaultSite, NicFaultConfig, NicFaultSite,
+};
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary};

@@ -4,15 +4,29 @@
 //! neither may reorder *observable effects*, and repeated runs of the
 //! same scenario must agree exactly — the event queue's
 //! (timestamp, insertion-seq) total order is the only tie-breaker.
+//!
+//! The fault-injection subsystem adds two more obligations, tested here:
+//!
+//! * **Pay for what you use.** With every fault rate at zero and
+//!   retransmission off, the machine must be bit-identical to a build
+//!   that never heard of faults. The pinned-baseline test below froze
+//!   its numbers on the pre-fault tree; any drift is a regression.
+//! * **Chaos determinism.** Under packet loss and corruption the run
+//!   must still complete with byte-identical destination memory to a
+//!   fault-free run, and the same seed must reproduce the same retry
+//!   counters exactly.
 
 use shrimp::cpu::Reg;
 use shrimp::mem::PAGE_SIZE;
 use shrimp::mesh::{MeshShape, NodeId};
 use shrimp::nic::nic::NicStats;
-use shrimp::nic::UpdatePolicy;
+use shrimp::nic::{RetxConfig, UpdatePolicy};
+use shrimp::sim::fault::{FaultConfig, LinkFaultConfig, NicFaultConfig};
+use shrimp::sim::SimDuration;
 use shrimp::{DeliveryRecord, Machine, MachineConfig, MapRequest};
 
-/// Everything externally observable about one finished run.
+/// Everything externally observable about one finished run, including
+/// the destination memory images the workload wrote into.
 #[derive(Debug, PartialEq)]
 struct Observation {
     deliveries: Vec<DeliveryRecord>,
@@ -20,15 +34,18 @@ struct Observation {
     mesh_stats: shrimp::mesh::NetworkStats,
     events_processed: u64,
     final_time: shrimp::sim::SimTime,
+    dest_mem: Vec<Vec<u8>>,
 }
 
 /// A mixed workload on a 2×2 mesh: a deliberate-update page stream from
 /// node 0 to node 1 (drives the CPU program path, DMA engine and mesh
 /// concurrently) overlapped with an automatic-update ping-pong between
 /// nodes 2 and 3 (drives the snoop path and single-word packets).
-fn run_scenario() -> Observation {
-    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+/// When `blocked_chunks > 0`, a blocked-write mapping from node 2 to
+/// node 1 joins in, exercising the merge window under fault load.
+fn run_workload(cfg: MachineConfig, blocked_chunks: u32) -> Observation {
     let pages = 8u64;
+    let mut cfg = cfg;
     cfg.pages_per_node = 4 * 256;
     let mut m = Machine::new(cfg);
 
@@ -98,6 +115,29 @@ fn run_scenario() -> Observation {
     })
     .expect("map b->a");
 
+    // Blocked-write half (chaos runs only): node 2 streams merged
+    // writes into a second page on node 1.
+    let mut blk = None;
+    if blocked_chunks > 0 {
+        let blk_src = m.alloc_pages(NodeId(2), a, 1).expect("alloc");
+        let blk_dst = m.alloc_pages(NodeId(1), r, 1).expect("alloc");
+        let blk_export = m
+            .export_buffer(NodeId(1), r, blk_dst, 1, Some(NodeId(2)))
+            .expect("export");
+        m.map(MapRequest {
+            src_node: NodeId(2),
+            src_pid: a,
+            src_va: blk_src,
+            dst_node: NodeId(1),
+            export: blk_export,
+            dst_offset: 0,
+            len: PAGE_SIZE,
+            policy: UpdatePolicy::AutomaticBlocked,
+        })
+        .expect("map blocked");
+        blk = Some((blk_src, blk_dst));
+    }
+
     m.clear_deliveries();
 
     // Start the deliberate stream...
@@ -116,9 +156,25 @@ fn run_scenario() -> Observation {
             .expect("ping");
         m.poke(NodeId(3), b, b_buf.add((i as u64 % 64) * 4), &(!i).to_le_bytes())
             .expect("pong");
+        if let Some((blk_src, _)) = blk {
+            if i < blocked_chunks {
+                let chunk: Vec<u8> = (0..64u32).map(|j| (i * 64 + j) as u8).collect();
+                m.poke(NodeId(2), a, blk_src.add(i as u64 * 64), &chunk)
+                    .expect("blocked burst");
+            }
+        }
         m.run_until_idle().expect("round quiesces");
     }
     m.run_until_idle().expect("stream drains");
+
+    let mut dest_mem = vec![
+        m.peek(NodeId(1), r, rcv_va, pages * PAGE_SIZE).expect("peek stream dst"),
+        m.peek(NodeId(3), b, b_buf, PAGE_SIZE).expect("peek pong dst"),
+        m.peek(NodeId(2), a, a_buf, PAGE_SIZE).expect("peek ping dst"),
+    ];
+    if let Some((_, blk_dst)) = blk {
+        dest_mem.push(m.peek(NodeId(1), r, blk_dst, PAGE_SIZE).expect("peek blocked dst"));
+    }
 
     let nodes = 4u16;
     Observation {
@@ -127,7 +183,39 @@ fn run_scenario() -> Observation {
         mesh_stats: m.mesh_stats().clone(),
         events_processed: m.events_processed(),
         final_time: m.now(),
+        dest_mem,
     }
+}
+
+fn run_scenario() -> Observation {
+    run_workload(MachineConfig::prototype(MeshShape::new(2, 2)), 0)
+}
+
+/// The fault configuration the chaos tests use: lossy, noisy, jittery
+/// links plus occasional receive-FIFO stalls.
+fn chaos_faults(seed: u64, drop_rate: f64, corrupt_rate: f64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        link: LinkFaultConfig {
+            drop_rate,
+            burst_extra: (1, 2),
+            corrupt_rate,
+            jitter_rate: 0.05,
+            jitter: (SimDuration::from_ns(20), SimDuration::from_ns(400)),
+            ..LinkFaultConfig::default()
+        },
+        nic: NicFaultConfig {
+            stall_rate: 0.002,
+            stall: (SimDuration::from_ns(200), SimDuration::from_us(2)),
+        },
+    }
+}
+
+fn chaos_config(fault: FaultConfig) -> MachineConfig {
+    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+    cfg.nic.retx = RetxConfig::reliable();
+    cfg.fault = fault;
+    cfg
 }
 
 #[test]
@@ -143,4 +231,122 @@ fn identical_runs_produce_identical_observations() {
     let bytes: u64 = first.deliveries.iter().map(|d| d.len).sum();
     assert!(bytes >= 8 * PAGE_SIZE + 32 * 4, "delivered {bytes} bytes");
     assert_eq!(first, second, "simulation must be deterministic");
+}
+
+/// With every fault rate at zero the machine must reproduce the exact
+/// numbers the pre-fault tree produced for this scenario, down to the
+/// final event count and a hash over every delivery record. The values
+/// below were captured on `main` immediately before the fault subsystem
+/// landed; if this test fails, the "disabled faults are free" contract
+/// is broken.
+#[test]
+fn zero_fault_run_matches_pinned_baseline() {
+    let obs = run_scenario();
+
+    assert_eq!(obs.deliveries.len(), 40);
+    let bytes: u64 = obs.deliveries.iter().map(|d| d.len).sum();
+    assert_eq!(bytes, 32_896);
+    assert_eq!(obs.events_processed, 141);
+    assert_eq!(obs.final_time.as_picos(), 1_712_973_308);
+
+    assert_eq!(obs.mesh_stats.packets_injected, 40);
+    assert_eq!(obs.mesh_stats.packets_ejected, 40);
+    assert_eq!(obs.mesh_stats.link_bytes, 33_776);
+    assert_eq!(obs.mesh_stats.packets_dropped, 0);
+    assert_eq!(obs.mesh_stats.packets_corrupted, 0);
+    assert_eq!(obs.mesh_stats.packets_jittered, 0);
+
+    let n0 = &obs.nic_stats[0];
+    assert_eq!((n0.packets_sent, n0.bytes_sent, n0.dma_packets), (8, 32_768, 8));
+    let n1 = &obs.nic_stats[1];
+    assert_eq!((n1.packets_received, n1.bytes_received), (8, 32_768));
+    for n in [&obs.nic_stats[2], &obs.nic_stats[3]] {
+        assert_eq!(n.packets_sent, 16);
+        assert_eq!(n.bytes_sent, 64);
+        assert_eq!(n.packets_received, 16);
+        assert_eq!(n.bytes_received, 64);
+        assert_eq!(n.single_write_packets, 16);
+    }
+    for n in &obs.nic_stats {
+        assert_eq!(n.retransmissions, 0);
+        assert_eq!(n.retx_timeouts, 0);
+        assert_eq!(n.acks_sent + n.acks_received, 0);
+        assert_eq!(n.nacks_sent + n.nacks_received, 0);
+        assert_eq!(n.fault_stalls, 0);
+    }
+
+    // FNV-1a over every delivery record, pinned from the pre-fault tree.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in &obs.deliveries {
+        for v in [
+            d.time.as_picos(),
+            d.node.0 as u64,
+            d.dst_addr.raw(),
+            d.len,
+            d.src.0 as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    assert_eq!(h, 0x5aa8_a3a8_ba18_2915, "delivery records drifted");
+}
+
+/// Shared body of the chaos soaks: run the mixed workload under the
+/// given fault rates and check (a) the run completes, (b) destination
+/// memory is byte-identical to a fault-free run, (c) the same seed
+/// reproduces the identical observation — retry counters included —
+/// and (d) the mesh carried less than 3× the ideal packet count.
+fn chaos_soak(seed: u64, drop_rate: f64, corrupt_rate: f64) {
+    let ideal = run_workload(chaos_config(FaultConfig::default()), 8);
+    let noisy = run_workload(chaos_config(chaos_faults(seed, drop_rate, corrupt_rate)), 8);
+    let again = run_workload(chaos_config(chaos_faults(seed, drop_rate, corrupt_rate)), 8);
+
+    assert_eq!(
+        noisy.dest_mem, ideal.dest_mem,
+        "fault injection corrupted destination memory"
+    );
+    assert_eq!(noisy, again, "same seed must reproduce the same run");
+
+    let retries: u64 = noisy.nic_stats.iter().map(|n| n.retransmissions).sum();
+    let dropped = noisy.mesh_stats.packets_dropped + noisy.mesh_stats.packets_corrupted;
+    if dropped > 0 {
+        assert!(retries > 0, "losses observed but nothing was retransmitted");
+    }
+    assert!(
+        noisy.mesh_stats.packets_injected < 3 * ideal.mesh_stats.packets_injected,
+        "retransmission storm: {} injected vs {} ideal",
+        noisy.mesh_stats.packets_injected,
+        ideal.mesh_stats.packets_injected
+    );
+}
+
+/// Fast chaos soak at the rates the issue names: 1% drop, 0.1% corrupt.
+#[test]
+fn chaos_soak_survives_one_percent_loss() {
+    chaos_soak(0x5ee_d001, 0.01, 0.001);
+}
+
+/// Heavier soak for CI's `--ignored` job: the acceptance-criteria upper
+/// bound (2% drop, 0.5% corruption) across several seeds.
+#[test]
+#[ignore = "long soak; run with --ignored in CI"]
+fn chaos_soak_battery() {
+    for seed in [1, 0xdead_beef, 0x5ee_d002, 42] {
+        chaos_soak(seed, 0.02, 0.005);
+    }
+}
+
+/// Retransmission alone (no faults) must not change what the machine
+/// delivers — only add ack traffic.
+#[test]
+fn retx_without_faults_delivers_identically() {
+    let plain = run_scenario();
+    let reliable = run_workload(chaos_config(FaultConfig::default()), 0);
+    assert_eq!(plain.dest_mem, reliable.dest_mem);
+    assert_eq!(
+        plain.deliveries.len(),
+        reliable.deliveries.len(),
+        "retx must not duplicate or lose deliveries"
+    );
 }

@@ -1,0 +1,69 @@
+//! Golden-number regression for the paper's Table 1.
+//!
+//! EXPERIMENTS.md records the dynamic instruction counts our msglib
+//! primitives retire; those numbers are the repo's headline result and
+//! must never drift silently. Every primitive is *executed* here (the
+//! reports carry a `verified` bit proving the payload arrived), and the
+//! measured (sender, receiver) counts are compared against the frozen
+//! table — including the csend/crecv row, where we intentionally beat
+//! the paper's count and pin our own.
+
+use shrimp::msglib::table1;
+
+#[test]
+fn table1_counts_match_experiments_md() {
+    let rows = table1().expect("every primitive runs");
+    assert_eq!(rows.len(), 7, "Table 1 has seven rows");
+
+    // (name, measured sender/receiver as frozen in EXPERIMENTS.md).
+    let golden: [(&str, (u64, u64)); 7] = [
+        ("single buffering", (4, 5)),
+        ("single buffering + copy", (4, 17)),
+        ("double buffering (case 1)", (1, 1)),
+        ("double buffering (case 2)", (3, 5)),
+        ("double buffering (case 3)", (5, 5)),
+        ("deliberate-update transfer", (15, 0)),
+        ("csend and crecv", (37, 32)),
+    ];
+
+    for (row, (name, want)) in rows.iter().zip(golden) {
+        assert_eq!(row.name, name, "row order changed");
+        assert!(row.report.verified, "{name}: payload must actually arrive");
+        // Where the paper excludes per-word copy costs, compare the
+        // copy-excluded counts; elsewhere the raw counts.
+        let got = row
+            .report
+            .copy_excluded
+            .as_ref()
+            .unwrap_or(&row.report.counts);
+        assert_eq!(
+            (got.sender, got.receiver),
+            want,
+            "{name}: instruction counts drifted from EXPERIMENTS.md"
+        );
+    }
+
+    // The copy variant's raw count (4-word payload, copy included) is
+    // also frozen: 39 dynamic instructions.
+    let copy_row = &rows[1];
+    assert_eq!(
+        copy_row.report.counts.sender + copy_row.report.counts.receiver,
+        39,
+        "raw single-buffering+copy count drifted"
+    );
+
+    // Rows the paper matches exactly must still match it exactly.
+    for row in &rows[..6] {
+        let got = row
+            .report
+            .copy_excluded
+            .as_ref()
+            .unwrap_or(&row.report.counts);
+        assert_eq!(
+            (got.sender, got.receiver),
+            row.paper,
+            "{}: no longer matches the paper",
+            row.name
+        );
+    }
+}
