@@ -15,7 +15,7 @@
 //! * `paging` — pin vs invalidate mapping consistency (§4.4): what a
 //!   pageout costs and what the faulting re-establishment costs.
 
-use shrimp_bench::{banner, fmt_rate, fmt_us, Table};
+use shrimp_bench::{banner, fmt_rate, fmt_us, write_metrics, Table};
 use shrimp_core::{Machine, MachineConfig, MapRequest};
 use shrimp_mem::{PageNum, PAGE_SIZE};
 use shrimp_mesh::{MeshShape, NodeId};
@@ -90,6 +90,7 @@ fn merge_study() {
         "payload bytes/packet",
         "delivery time",
     ]);
+    let mut reg = shrimp_sim::MetricsRegistry::new();
     for window_ns in [0u64, 50, 200, 500, 2_000, 10_000] {
         let mut cfg = MachineConfig::prototype(MeshShape::new(2, 1));
         cfg.nic.merge_window = SimDuration::from_ns(window_ns);
@@ -101,7 +102,15 @@ fn merge_study() {
             format!("{:.0}", PAGE_SIZE as f64 / packets as f64),
             fmt_us(elapsed),
         ]);
+        let p = format!("ablation.merge.window_{window_ns}ns");
+        reg.set_counter(format!("{p}.packets"), packets);
+        reg.set_gauge(format!("{p}.delivery_us"), elapsed);
+        reg.set_gauge(
+            format!("{p}.payload_bytes_per_packet"),
+            PAGE_SIZE as f64 / packets as f64,
+        );
     }
+    write_metrics("ablation", &reg.snapshot());
     t.print();
     println!("\nwider windows merge more stores per packet, amortizing headers");
 }

@@ -12,7 +12,7 @@
 //! cargo run -p shrimp-bench --bin bandwidth
 //! ```
 
-use shrimp_bench::{banner, fmt_rate, Table};
+use shrimp_bench::{banner, fmt_rate, write_metrics, Table};
 use shrimp_core::{Machine, MachineConfig, MapRequest};
 use shrimp_cpu::Reg;
 use shrimp_mem::PAGE_SIZE;
@@ -75,8 +75,9 @@ fn setup(cfg: MachineConfig, pages: u64, policy: UpdatePolicy) -> Setup {
 }
 
 /// Streams `bytes` with back-to-back deliberate-update page transfers and
-/// returns the achieved end-to-end rate in bytes/second.
-fn deliberate_rate(cfg: MachineConfig, bytes: u64) -> f64 {
+/// returns the achieved end-to-end rate in bytes/second, plus the
+/// machine for metrics inspection.
+fn deliberate_rate(cfg: MachineConfig, bytes: u64) -> (f64, Machine) {
     let pages = bytes.div_ceil(PAGE_SIZE);
     let tail_words = ((bytes - (pages - 1) * PAGE_SIZE) / 4) as u32;
     let mut w = setup(cfg, pages, UpdatePolicy::Deliberate);
@@ -103,7 +104,8 @@ fn deliberate_rate(cfg: MachineConfig, bytes: u64) -> f64 {
         .expect("deliveries recorded");
     let delivered: u64 = w.m.deliveries().iter().map(|d| d.len).sum();
     assert_eq!(delivered, bytes, "every byte must arrive");
-    delivered as f64 / (last.since(t0).as_picos() as f64 / 1e12)
+    let rate = delivered as f64 / (last.since(t0).as_picos() as f64 / 1e12);
+    (rate, w.m)
 }
 
 /// Streams `bytes` of blocked-write automatic updates (host stores) and
@@ -140,9 +142,10 @@ fn main() {
     let sizes: [u64; 7] = [256, 1024, 4096, 8192, 16384, 32768, 65536];
     let mut last_proto = 0.0;
     let mut last_next = 0.0;
+    let mut last_machine = None;
     for &size in &sizes {
-        let proto = deliberate_rate(MachineConfig::prototype(shape), size);
-        let next = deliberate_rate(MachineConfig::next_generation(shape), size);
+        let (proto, m) = deliberate_rate(MachineConfig::prototype(shape), size);
+        let (next, _) = deliberate_rate(MachineConfig::next_generation(shape), size);
         let blocked = blocked_write_rate(MachineConfig::prototype(shape), size);
         t.row(vec![
             format!("{size} B"),
@@ -152,6 +155,7 @@ fn main() {
         ]);
         last_proto = proto;
         last_next = next;
+        last_machine = Some(m);
     }
     t.print();
 
@@ -173,4 +177,9 @@ fn main() {
         "next generation must roughly double it, got {last_next}"
     );
     println!("\nboth envelopes hold: the receive-path bus is the bottleneck");
+
+    // Component counters of the largest prototype stream, in the
+    // unified schema (nic0.*, mesh.*, machine.*).
+    let m = last_machine.expect("at least one size measured");
+    write_metrics("bandwidth", &m.metrics_snapshot());
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use shrimp_baseline::{BaselineConfig, BaselineMachine};
-use shrimp_bench::{banner, fmt_ratio, fmt_us, Table};
+use shrimp_bench::{banner, fmt_ratio, fmt_us, write_metrics, Table};
 use shrimp_core::msglib;
 use shrimp_mesh::{MeshShape, NodeId};
 
@@ -102,4 +102,14 @@ fn main() {
     let speedup = timeline.total().as_micros_f64() / shrimp.elapsed.as_micros_f64();
     println!("SHRIMP speedup: {}", fmt_ratio(speedup));
     assert!(speedup > 2.0, "SHRIMP must clearly win end-to-end");
+
+    let mut reg = shrimp_sim::MetricsRegistry::new();
+    reg.set_counter("comparison.shrimp.csend_insns", ours.sender);
+    reg.set_counter("comparison.shrimp.crecv_insns", ours.receiver);
+    reg.set_counter("comparison.nx2.csend_insns", cfg.csend_instructions);
+    reg.set_counter("comparison.nx2.crecv_insns", cfg.crecv_instructions);
+    reg.set_gauge("comparison.instruction_ratio", ratio);
+    reg.set_gauge("comparison.software_vs_hardware_ratio", sw / hw);
+    reg.set_gauge("comparison.end_to_end_speedup", speedup);
+    write_metrics("comparison", &reg.snapshot());
 }

@@ -2,13 +2,14 @@
 //! stream with link-level go-back-N retransmission enabled: the channel
 //! drops (and occasionally corrupts) packets, the NICs recover, and the
 //! application still sees every byte — at a goodput cost this sweep
-//! quantifies. Results are printed and written to `BENCH_faultsweep.json`.
+//! quantifies. Results are printed and written to
+//! `BENCH_faultsweep.metrics.json` in the `shrimp.metrics.v1` schema.
 //!
 //! ```text
 //! cargo run -p shrimp-bench --bin faultsweep
 //! ```
 
-use shrimp_bench::{banner, fmt_rate, Table};
+use shrimp_bench::{banner, fmt_rate, write_metrics, Table};
 use shrimp_core::{Machine, MachineConfig, MapRequest};
 use shrimp_cpu::Reg;
 use shrimp_mem::PAGE_SIZE;
@@ -117,15 +118,6 @@ fn run_point(loss: f64, pages: u64) -> Sample {
     }
 }
 
-fn json_field(s: &Sample) -> String {
-    format!(
-        "  \"{:.3}\": {{ \"goodput_bytes_per_sec\": {:.0}, \"packets_injected\": {}, \
-         \"packets_dropped\": {}, \"packets_corrupted\": {}, \"retransmissions\": {}, \
-         \"timeouts\": {} }}",
-        s.loss, s.goodput, s.injected, s.dropped, s.corrupted, s.retransmissions, s.timeouts
-    )
-}
-
 fn main() {
     banner("Fault sweep: goodput vs. link loss (go-back-N retransmission)");
 
@@ -165,8 +157,15 @@ fn main() {
         100.0 * worst.goodput / ideal
     );
 
-    let body = samples.iter().map(json_field).collect::<Vec<_>>().join(",\n");
-    let json = format!("{{\n{body}\n}}\n");
-    std::fs::write("BENCH_faultsweep.json", &json).expect("write BENCH_faultsweep.json");
-    println!("wrote BENCH_faultsweep.json");
+    let mut reg = shrimp_sim::MetricsRegistry::new();
+    for s in &samples {
+        let p = format!("faultsweep.loss_{:.3}", s.loss);
+        reg.set_gauge(format!("{p}.goodput_bytes_per_sec"), s.goodput);
+        reg.set_counter(format!("{p}.packets_injected"), s.injected);
+        reg.set_counter(format!("{p}.packets_dropped"), s.dropped);
+        reg.set_counter(format!("{p}.packets_corrupted"), s.corrupted);
+        reg.set_counter(format!("{p}.retx.retransmissions"), s.retransmissions);
+        reg.set_counter(format!("{p}.retx.timeouts"), s.timeouts);
+    }
+    write_metrics("faultsweep", &reg.snapshot());
 }

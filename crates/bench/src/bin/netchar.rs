@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use shrimp_bench::workloads::TrafficPattern;
-use shrimp_bench::{banner, fmt_us, Table};
+use shrimp_bench::{banner, fmt_us, metric_key, write_metrics, Table};
 use shrimp_mesh::{MeshConfig, MeshNetwork, MeshPacket, MeshShape};
 use shrimp_sim::{SimDuration, SimRng, SimTime};
 
@@ -104,6 +104,7 @@ fn main() {
     banner("extension: mesh characterization under synthetic traffic");
     let shape = MeshShape::new(4, 4);
 
+    let mut reg = shrimp_sim::MetricsRegistry::new();
     for interval_us in [4u64, 16] {
         println!(
             "offered load: one {PACKET_BYTES} B packet per node every {interval_us} us\n"
@@ -140,6 +141,12 @@ fn main() {
                 fmt_us(o.mean_latency_us),
                 fmt_us(o.max_latency_us),
             ]);
+            let p = format!("netchar.{interval_us}us.{}", metric_key(&pattern.name()));
+            reg.set_counter(format!("{p}.offered"), o.offered);
+            reg.set_counter(format!("{p}.refused"), o.refused);
+            reg.set_counter(format!("{p}.delivered"), o.delivered);
+            reg.set_gauge(format!("{p}.mean_transit_us"), o.mean_latency_us);
+            reg.set_gauge(format!("{p}.max_transit_us"), o.max_latency_us);
         }
         t.print();
         println!();
@@ -148,6 +155,7 @@ fn main() {
             "hotspot contention must exceed neighbor traffic latency"
         );
     }
+    write_metrics("netchar", &reg.snapshot());
     println!("hotspot traffic queues at the ejection port; neighbor traffic stays near the no-load");
     println!("latency — the backplane behaves like the dimension-order mesh the paper assumes");
 }

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use shrimp_bench::banner;
+use shrimp_bench::{banner, write_metrics};
 use shrimp_core::{Machine, MachineConfig, MapRequest};
 use shrimp_cpu::Reg;
 use shrimp_mem::PAGE_SIZE;
@@ -236,8 +236,24 @@ fn main() {
         );
     }
 
+    // Historical trajectory file, kept format-stable so perf PRs stay
+    // comparable across revisions.
     let body = samples.iter().map(json_field).collect::<Vec<_>>().join(",\n");
     let json = format!("{{\n{body}\n}}\n");
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");
+
+    // The same numbers in the unified shrimp.metrics.v1 schema. Note the
+    // workloads run with telemetry off (the default): this benchmark
+    // tracks the simulator's raw speed.
+    let mut reg = shrimp_sim::MetricsRegistry::new();
+    for s in &samples {
+        let p = format!("simspeed.{}", s.name);
+        reg.set_gauge(format!("{p}.wall_seconds"), s.wall_seconds);
+        reg.set_counter(format!("{p}.events"), s.events);
+        reg.set_gauge(format!("{p}.events_per_sec"), s.events_per_sec());
+        reg.set_counter(format!("{p}.sim_bytes"), s.sim_bytes);
+        reg.set_gauge(format!("{p}.sim_bytes_per_sec"), s.sim_bytes_per_sec());
+    }
+    write_metrics("simspeed", &reg.snapshot());
 }

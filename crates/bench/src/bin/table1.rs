@@ -5,7 +5,7 @@
 //! cargo run -p shrimp-bench --bin table1
 //! ```
 
-use shrimp_bench::{banner, Table};
+use shrimp_bench::{banner, metric_key, write_metrics, Table};
 use shrimp_core::msglib;
 
 fn main() {
@@ -41,6 +41,19 @@ fn main() {
         ]);
     }
     t.print();
+
+    let mut reg = shrimp_sim::MetricsRegistry::new();
+    for row in &rows {
+        let m = row.report.copy_excluded.unwrap_or(row.report.counts);
+        let p = format!("table1.{}", metric_key(row.name));
+        reg.set_counter(format!("{p}.sender_insns"), m.sender);
+        reg.set_counter(format!("{p}.receiver_insns"), m.receiver);
+        reg.set_counter(
+            format!("{p}.elapsed_ps"),
+            row.report.elapsed.as_picos(),
+        );
+    }
+    write_metrics("table1", &reg.snapshot());
 
     println!(
         "\nNote: csend/crecv is our user-level implementation of the NX/2\n\

@@ -4,7 +4,7 @@ use shrimp_cpu::CpuConfig;
 use shrimp_mem::{BusConfig, CacheConfig};
 use shrimp_mesh::{MeshConfig, MeshShape};
 use shrimp_nic::NicConfig;
-use shrimp_sim::{FaultConfig, SimDuration};
+use shrimp_sim::{FaultConfig, SimDuration, TelemetryConfig};
 
 /// Configuration of a simulated SHRIMP machine.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +42,9 @@ pub struct MachineConfig {
     /// creates no fault sites and leaves the machine bit-identical to a
     /// build without the subsystem).
     pub fault: FaultConfig,
+    /// Telemetry: typed tracing and packet-lifecycle latency recording.
+    /// Off by default; turning it on never perturbs simulated time.
+    pub telemetry: TelemetryConfig,
 }
 
 impl MachineConfig {
@@ -63,6 +66,7 @@ impl MachineConfig {
             quantum: SimDuration::from_ms(10),
             tlb_entries: 64,
             fault: FaultConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 

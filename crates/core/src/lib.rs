@@ -34,4 +34,6 @@ pub mod pram;
 
 pub use config::MachineConfig;
 pub use error::MachineError;
-pub use machine::{DeliveryRecord, Machine, MapRequest, MappingId};
+pub use machine::{
+    DeliveryRecord, LatencyRecord, Machine, MachineTelemetry, MapRequest, MappingId,
+};

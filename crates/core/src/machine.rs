@@ -31,7 +31,10 @@ use shrimp_mesh::{MeshNetwork, NodeId};
 use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, Payload, ShrimpPacket, UpdatePolicy};
 use shrimp_os::kernel::OutgoingRecord;
 use shrimp_os::{ExportId, Kernel, KernelMsg, OsError, Pid, RoundRobin, SchedDecision};
-use shrimp_sim::{EventQueue, SimDuration, SimTime};
+use shrimp_sim::{
+    to_chrome_json, ComponentId, EventQueue, Histogram, MetricsRegistry, MetricsSnapshot,
+    SimDuration, SimTime, TraceData, TraceEvent, TraceLevel, Tracer,
+};
 
 use crate::config::MachineConfig;
 use crate::error::MachineError;
@@ -77,6 +80,87 @@ pub struct DeliveryRecord {
     pub len: u64,
     /// Sending node.
     pub src: NodeId,
+}
+
+/// One packet's full lifecycle timeline, recorded when
+/// [`shrimp_sim::TelemetryConfig::latency`] is on. The five boundary
+/// times are monotone, so the per-stage durations telescope: their sum
+/// equals [`LatencyRecord::end_to_end`] exactly, for every packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyRecord {
+    /// Receiving node.
+    pub node: NodeId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Snooped off the Xpress bus and queued on the Outgoing FIFO.
+    pub born: SimTime,
+    /// Entered the mesh injection port.
+    pub injected: SimTime,
+    /// Accepted into the destination's Incoming FIFO.
+    pub accepted: SimTime,
+    /// EISA DMA burst began.
+    pub dma_start: SimTime,
+    /// Data fully in destination DRAM.
+    pub dma_end: SimTime,
+}
+
+impl LatencyRecord {
+    /// Time spent in the Outgoing FIFO waiting for the injection port.
+    pub fn out_fifo(&self) -> SimDuration {
+        self.injected.since(self.born)
+    }
+
+    /// Time in flight across the mesh backplane.
+    pub fn mesh(&self) -> SimDuration {
+        self.accepted.since(self.injected)
+    }
+
+    /// Time in the Incoming FIFO (receive latency + EISA arbitration).
+    pub fn in_fifo(&self) -> SimDuration {
+        self.dma_start.since(self.accepted)
+    }
+
+    /// The DMA burst itself.
+    pub fn dma(&self) -> SimDuration {
+        self.dma_end.since(self.dma_start)
+    }
+
+    /// Store snooped to data in remote memory.
+    pub fn end_to_end(&self) -> SimDuration {
+        self.dma_end.since(self.born)
+    }
+}
+
+/// Packet-lifecycle latency telemetry: per-stage histograms plus the
+/// raw per-packet records (all in picoseconds). Empty unless
+/// [`shrimp_sim::TelemetryConfig::latency`] is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct MachineTelemetry {
+    /// Store snooped → data in remote DRAM.
+    pub e2e: Histogram,
+    /// Outgoing FIFO residency.
+    pub out_fifo: Histogram,
+    /// Mesh transit.
+    pub mesh: Histogram,
+    /// Incoming FIFO residency.
+    pub in_fifo: Histogram,
+    /// EISA DMA burst.
+    pub dma: Histogram,
+    /// Every delivered packet's timeline, in delivery order.
+    pub records: Vec<LatencyRecord>,
+}
+
+impl MachineTelemetry {
+    fn record(&mut self, rec: LatencyRecord) {
+        self.e2e.record_duration(rec.end_to_end());
+        self.out_fifo.record_duration(rec.out_fifo());
+        self.mesh.record_duration(rec.mesh());
+        self.in_fifo.record_duration(rec.in_fifo());
+        self.dma.record_duration(rec.dma());
+        self.records.push(rec);
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +247,8 @@ pub struct Machine {
     delivery_log: Vec<DeliveryRecord>,
     drop_log: Vec<(SimTime, NodeId, NicError)>,
     events_processed: u64,
+    tracer: Tracer,
+    telemetry: MachineTelemetry,
 }
 
 impl Machine {
@@ -201,9 +287,16 @@ impl Machine {
             if let Some(site) = config.fault.nic_site(i as u64) {
                 n.nic.set_fault_injection(site);
             }
+            if let Some(level) = config.telemetry.trace_level {
+                n.nic.set_tracer(Tracer::new(level));
+            }
         }
         let mut mesh = MeshNetwork::new(config.mesh);
         mesh.set_fault_injection(&config.fault);
+        let tracer = match config.telemetry.trace_level {
+            Some(level) => Tracer::new(level),
+            None => Tracer::disabled(),
+        };
         Machine {
             config,
             nodes,
@@ -219,6 +312,8 @@ impl Machine {
             delivery_log: Vec::new(),
             drop_log: Vec::new(),
             events_processed: 0,
+            tracer,
+            telemetry: MachineTelemetry::default(),
         }
     }
 
@@ -385,6 +480,15 @@ impl Machine {
         let id = MappingId(self.next_mapping);
         self.next_mapping += 1;
         self.registrations.push(Registration { id, req });
+        self.tracer.emit(
+            self.now,
+            TraceLevel::Info,
+            ComponentId::MACHINE,
+            TraceData::PageMapped {
+                node: req.dst_node.0,
+                page: req.src_va.page().raw(),
+            },
+        );
 
         // The map call is the deliberately slow, rare operation.
         let done = self.now + self.config.map_syscall_cost;
@@ -466,6 +570,15 @@ impl Machine {
             }
         }
 
+        self.tracer.emit(
+            self.now,
+            TraceLevel::Info,
+            ComponentId::MACHINE,
+            TraceData::PageUnmapped {
+                node: req.dst_node.0,
+                page: req.src_va.page().raw(),
+            },
+        );
         let done = self.now + self.config.map_syscall_cost / 2;
         self.run_until(done);
         Ok(())
@@ -897,6 +1010,20 @@ impl Machine {
             let n = &mut self.nodes[node.0 as usize];
             match n.nic.pop_outgoing(t) {
                 Some(pkt) => {
+                    if self.tracer.wants(TraceLevel::Info) {
+                        let inner = pkt.payload();
+                        self.tracer.emit(
+                            t,
+                            TraceLevel::Info,
+                            ComponentId::nic(node.0),
+                            TraceData::PacketInjected {
+                                src: pkt.src().0,
+                                dst: pkt.dst().0,
+                                bytes: inner.wire_len() as u32,
+                                seq: inner.link().map(|l| l.seq),
+                            },
+                        );
+                    }
                     if self.mesh.try_inject(t, pkt).is_err() {
                         debug_assert!(false, "can_inject checked above");
                         break;
@@ -918,6 +1045,44 @@ impl Machine {
                         .eisa
                         .dma_write(start, delivery.dst_addr, delivery.data.len() as u64)
                         .grant;
+                    if self.tracer.wants(TraceLevel::Info) {
+                        let bytes = delivery.data.len() as u32;
+                        let c = ComponentId::nic(node.0);
+                        self.tracer.emit(
+                            grant.start,
+                            TraceLevel::Info,
+                            c,
+                            TraceData::DmaStart { node: node.0, bytes },
+                        );
+                        self.tracer.emit(
+                            grant.end,
+                            TraceLevel::Info,
+                            c,
+                            TraceData::DmaEnd { node: node.0, bytes },
+                        );
+                        self.tracer.emit(
+                            grant.end,
+                            TraceLevel::Info,
+                            c,
+                            TraceData::PacketDelivered {
+                                src: delivery.src.0,
+                                dst: node.0,
+                                bytes,
+                            },
+                        );
+                    }
+                    if self.config.telemetry.latency {
+                        self.telemetry.record(LatencyRecord {
+                            node,
+                            src: delivery.src,
+                            bytes: delivery.data.len() as u64,
+                            born: delivery.stamp.born,
+                            injected: delivery.stamp.injected,
+                            accepted: delivery.stamp.accepted,
+                            dma_start: grant.start,
+                            dma_end: grant.end,
+                        });
+                    }
                     self.delivery_log.push(DeliveryRecord {
                         time: grant.end,
                         node,
@@ -1320,6 +1485,67 @@ impl Machine {
     pub fn clear_deliveries(&mut self) {
         self.delivery_log.clear();
     }
+
+    /// The machine-level tracer (mapping events, DMA spans, deliveries).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Packet-lifecycle latency telemetry (empty unless
+    /// `config.telemetry.latency` is on).
+    pub fn telemetry(&self) -> &MachineTelemetry {
+        &self.telemetry
+    }
+
+    /// Gathers every component's counters, gauges and histograms into
+    /// one hierarchical [`MetricsSnapshot`] (`nic0.packets_sent`,
+    /// `mesh.link.0-1.util`, `latency.e2e`, ...). Built on demand — the
+    /// registry never sits on the simulation hot path.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.nic.register_metrics(&mut reg, &format!("nic{i}"));
+        }
+        let ms = self.mesh.stats();
+        reg.set_counter("mesh.packets_injected", ms.packets_injected);
+        reg.set_counter("mesh.packets_ejected", ms.packets_ejected);
+        reg.set_counter("mesh.link_bytes", ms.link_bytes);
+        reg.set_counter("mesh.packets_dropped", ms.packets_dropped);
+        reg.set_counter("mesh.packets_corrupted", ms.packets_corrupted);
+        reg.set_counter("mesh.packets_jittered", ms.packets_jittered);
+        let elapsed = self.now.as_picos();
+        for (a, b, u) in self.mesh.link_usage() {
+            reg.set_counter(format!("mesh.link.{}-{}.bytes", a.0, b.0), u.bytes);
+            let util = if elapsed == 0 {
+                0.0
+            } else {
+                u.busy.as_picos() as f64 / elapsed as f64
+            };
+            reg.set_gauge(format!("mesh.link.{}-{}.util", a.0, b.0), util);
+        }
+        reg.set_counter("machine.events_processed", self.events_processed);
+        reg.set_counter("machine.sim_time_ps", self.now.as_picos());
+        reg.set_counter("machine.deliveries", self.delivery_log.len() as u64);
+        reg.set_counter("machine.drops", self.drop_log.len() as u64);
+        if self.telemetry.e2e.count() > 0 {
+            reg.set_histogram("latency.e2e", &self.telemetry.e2e);
+            reg.set_histogram("latency.out_fifo", &self.telemetry.out_fifo);
+            reg.set_histogram("latency.mesh", &self.telemetry.mesh);
+            reg.set_histogram("latency.in_fifo", &self.telemetry.in_fifo);
+            reg.set_histogram("latency.dma", &self.telemetry.dma);
+        }
+        reg.snapshot()
+    }
+
+    /// Exports every recorded trace event (machine-level plus all NICs)
+    /// as a Chrome trace-event JSON document loadable in Perfetto.
+    pub fn export_chrome_trace(&self) -> String {
+        let mut events: Vec<TraceEvent> = self.tracer.events().to_vec();
+        for n in &self.nodes {
+            events.extend_from_slice(n.nic.tracer().events());
+        }
+        to_chrome_json(&events)
+    }
 }
 
 // ───────────────────────────── the bus view ─────────────────────────────
@@ -1683,6 +1909,83 @@ mod tests {
         let (mut m, _, _) = two_node();
         let held = m.run_until_pred(m.now() + SimDuration::from_us(1), |_| false);
         assert!(!held);
+    }
+
+    #[test]
+    fn latency_stages_telescope_to_end_to_end() {
+        let mut cfg = MachineConfig::two_nodes();
+        cfg.telemetry = shrimp_sim::TelemetryConfig::full();
+        let mut m = Machine::new(cfg);
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(1));
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        m.poke(NodeId(0), s, src, &[7u8; 64]).unwrap();
+        m.run_until_idle().unwrap();
+
+        let tel = m.telemetry();
+        assert_eq!(tel.records.len(), m.deliveries().len());
+        assert!(!tel.records.is_empty());
+        for rec in &tel.records {
+            assert!(rec.born <= rec.injected);
+            assert!(rec.injected <= rec.accepted);
+            assert!(rec.accepted <= rec.dma_start);
+            assert!(rec.dma_start <= rec.dma_end);
+            let sum = rec.out_fifo() + rec.mesh() + rec.in_fifo() + rec.dma();
+            assert_eq!(sum, rec.end_to_end(), "stages must telescope exactly");
+        }
+        assert_eq!(tel.e2e.count(), tel.records.len() as u64);
+
+        // The trace saw the same packets the logs did.
+        assert!(m.tracer().contains("packet injected"));
+        assert!(m.tracer().contains("dma start"));
+        assert!(m.tracer().contains("page mapped"));
+
+        // And the Chrome export of that trace validates.
+        let trace = m.export_chrome_trace();
+        shrimp_sim::validate_chrome_json(&trace).expect("exported trace must validate");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_components() {
+        let mut cfg = MachineConfig::two_nodes();
+        cfg.telemetry = shrimp_sim::TelemetryConfig::full();
+        let mut m = Machine::new(cfg);
+        let s = m.create_process(NodeId(0));
+        let r = m.create_process(NodeId(1));
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        m.poke(NodeId(0), s, src, &[3u8; 32]).unwrap();
+        m.run_until_idle().unwrap();
+
+        let snap = m.metrics_snapshot();
+        let sent = snap.counter("nic0.packets_sent").unwrap();
+        assert!(sent > 0);
+        assert_eq!(snap.counter("nic1.packets_received"), Some(sent));
+        assert!(snap.counter("mesh.packets_injected").unwrap() >= sent);
+        assert!(snap.counter("mesh.link.0-1.bytes").unwrap() > 0);
+        let util = snap.gauge("mesh.link.0-1.util").unwrap();
+        assert!(util > 0.0 && util <= 1.0);
+        assert!(snap.counter("machine.events_processed").unwrap() > 0);
+        let e2e = snap.histogram("latency.e2e").unwrap();
+        assert_eq!(e2e.count, m.telemetry().records.len() as u64);
+
+        // Round-trips through the stable JSON schema.
+        let parsed =
+            shrimp_sim::MetricsSnapshot::parse_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let (mut m, s, r) = two_node();
+        let (src, _) = simple_map(&mut m, s, r, UpdatePolicy::AutomaticSingle);
+        m.poke(NodeId(0), s, src, &[1u8; 16]).unwrap();
+        m.run_until_idle().unwrap();
+        assert!(m.telemetry().records.is_empty());
+        assert!(m.tracer().events().is_empty());
+        assert!(m.nic(NodeId(0)).tracer().events().is_empty());
+        // The metrics snapshot still works — counters live on the NIC
+        // regardless of the telemetry switches.
+        assert!(m.metrics_snapshot().counter("nic0.packets_sent").unwrap() > 0);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod packet;
 pub mod topology;
 
 pub use config::MeshConfig;
-pub use network::{MeshNetwork, NetworkStats};
+pub use network::{LinkUse, MeshNetwork, NetworkStats};
 pub use packet::{MeshPacket, MeshPayload};
 pub use topology::{Direction, MeshCoord, MeshShape, NodeId};

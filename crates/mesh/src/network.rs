@@ -96,6 +96,15 @@ pub struct NetworkStats {
     pub packets_jittered: u64,
 }
 
+/// Usage accumulated by one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkUse {
+    /// Bytes serialized over the link (wire envelope included).
+    pub bytes: u64,
+    /// Total time the link spent serializing packets.
+    pub busy: SimDuration,
+}
+
 /// The simulated routing backplane, generic over the payload type its
 /// packets carry (raw [`Bytes`] by default; the full machine instantiates
 /// it with the NIC's structured packet so nothing is re-serialized at the
@@ -121,6 +130,8 @@ pub struct MeshNetwork<P = Bytes> {
     /// empty unless [`MeshNetwork::set_fault_injection`] armed one.
     faults: Vec<Option<LinkFaultSite>>,
     stats: NetworkStats,
+    /// Per-directed-link usage, indexed like `link_free_at`.
+    link_use: Vec<LinkUse>,
 }
 
 impl<P: MeshPayload> MeshNetwork<P> {
@@ -150,6 +161,7 @@ impl<P: MeshPayload> MeshNetwork<P> {
             retry_at: vec![None; n],
             faults: Vec::new(),
             stats: NetworkStats::default(),
+            link_use: vec![LinkUse::default(); n * 4],
         }
     }
 
@@ -178,6 +190,23 @@ impl<P: MeshPayload> MeshNetwork<P> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Per-directed-link usage: `(from, to, use)` for every link that
+    /// carried traffic, in deterministic link-index order.
+    pub fn link_usage(&self) -> Vec<(NodeId, NodeId, LinkUse)> {
+        let mut out = Vec::new();
+        for (i, u) in self.link_use.iter().enumerate() {
+            if u.bytes == 0 {
+                continue;
+            }
+            let node = NodeId((i / 4) as u16);
+            let dir = Direction::ALL[i % 4];
+            if let Some(to) = self.shape.neighbor(node, dir) {
+                out.push((node, to, *u));
+            }
+        }
+        out
     }
 
     /// The time of the latest processed internal event.
@@ -381,6 +410,8 @@ impl<P: MeshPayload> MeshNetwork<P> {
                 };
                 self.link_free_at[link_idx] = t + ser;
                 self.stats.link_bytes += wire_len;
+                self.link_use[link_idx].bytes += wire_len;
+                self.link_use[link_idx].busy += ser;
                 let src_buf = &mut self.routers[node.0 as usize].inputs[port];
                 src_buf.queue.pop_front();
                 src_buf.draining += 1;

@@ -58,4 +58,7 @@ pub use error::NicError;
 pub use fifo::PacketFifo;
 pub use nic::{IncomingDelivery, NetworkInterface, NicInterrupt, SnoopOutcome};
 pub use nipt::{Nipt, NiptEntry, OutSegment, UpdatePolicy};
-pub use packet::{crc32, Crc32, FrameKind, LinkCtl, Payload, ShrimpPacket, WireHeader, INLINE_PAYLOAD_MAX};
+pub use packet::{
+    crc32, Crc32, FrameKind, LinkCtl, PacketStamp, Payload, ShrimpPacket, WireHeader,
+    INLINE_PAYLOAD_MAX,
+};

@@ -9,7 +9,10 @@
 use shrimp_mem::{PhysAddr, PageNum, WORD_SIZE};
 use shrimp_mesh::{MeshCoord, MeshPacket, MeshShape, NodeId};
 use shrimp_sim::fault::NicFaultSite;
-use shrimp_sim::{SimDuration, SimTime};
+use shrimp_sim::{
+    ComponentId, CounterId, MetricSet, MetricsRegistry, SimDuration, SimTime, TraceData,
+    TraceLevel, Tracer,
+};
 
 use std::collections::BTreeMap;
 
@@ -19,7 +22,7 @@ use crate::dma::DmaEngine;
 use crate::error::NicError;
 use crate::fifo::PacketFifo;
 use crate::nipt::{Nipt, OutSegment, UpdatePolicy};
-use crate::packet::{FrameKind, LinkCtl, Payload, ShrimpPacket, WireHeader};
+use crate::packet::{FrameKind, LinkCtl, PacketStamp, Payload, ShrimpPacket, WireHeader};
 
 /// What the NIC did with one snooped bus write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +96,8 @@ pub struct IncomingDelivery {
     pub src: NodeId,
     /// True if the page's one-shot interrupt request was armed.
     pub interrupt: bool,
+    /// Lifecycle timestamps carried by the packet through the datapath.
+    pub stamp: PacketStamp,
 }
 
 /// Counters exposed by the NIC.
@@ -139,6 +144,63 @@ pub struct NicStats {
     pub gap_drops: u64,
     /// Injected receive-FIFO stalls (fault injection).
     pub fault_stalls: u64,
+}
+
+/// Registry handles into the NIC's [`MetricSet`], one per [`NicStats`]
+/// counter. Resolved once at construction so every hot-path increment is
+/// an indexed vector add, never a name lookup.
+#[derive(Debug, Clone, Copy)]
+struct NicCounterIds {
+    packets_sent: CounterId,
+    bytes_sent: CounterId,
+    packets_received: CounterId,
+    bytes_received: CounterId,
+    merged_writes: CounterId,
+    single_write_packets: CounterId,
+    blocked_write_packets: CounterId,
+    dma_packets: CounterId,
+    crc_drops: CounterId,
+    misroutes: CounterId,
+    unmapped_drops: CounterId,
+    retransmissions: CounterId,
+    retx_timeouts: CounterId,
+    acks_sent: CounterId,
+    acks_received: CounterId,
+    nacks_sent: CounterId,
+    nacks_received: CounterId,
+    dup_drops: CounterId,
+    gap_drops: CounterId,
+    fault_stalls: CounterId,
+}
+
+impl NicCounterIds {
+    /// Registers every NIC counter in `set`. The dotted names become
+    /// registry entries under the NIC's prefix, e.g.
+    /// `nic0.retx.timeouts`.
+    fn register(set: &mut MetricSet) -> Self {
+        NicCounterIds {
+            packets_sent: set.counter("packets_sent"),
+            bytes_sent: set.counter("bytes_sent"),
+            packets_received: set.counter("packets_received"),
+            bytes_received: set.counter("bytes_received"),
+            merged_writes: set.counter("merged_writes"),
+            single_write_packets: set.counter("single_write_packets"),
+            blocked_write_packets: set.counter("blocked_write_packets"),
+            dma_packets: set.counter("dma_packets"),
+            crc_drops: set.counter("crc_drops"),
+            misroutes: set.counter("misroutes"),
+            unmapped_drops: set.counter("unmapped_drops"),
+            retransmissions: set.counter("retx.retransmissions"),
+            retx_timeouts: set.counter("retx.timeouts"),
+            acks_sent: set.counter("retx.acks_sent"),
+            acks_received: set.counter("retx.acks_received"),
+            nacks_sent: set.counter("retx.nacks_sent"),
+            nacks_received: set.counter("retx.nacks_received"),
+            dup_drops: set.counter("retx.dup_drops"),
+            gap_drops: set.counter("retx.gap_drops"),
+            fault_stalls: set.counter("fault_stalls"),
+        }
+    }
 }
 
 /// Go-back-N sender state toward one destination node.
@@ -232,7 +294,16 @@ pub struct NetworkInterface {
     fault: Option<NicFaultSite>,
     /// While set, the NIC refuses packets from the network.
     stall_until: Option<SimTime>,
-    stats: NicStats,
+    /// Hot-path counters, read back via [`NetworkInterface::stats`] or a
+    /// [`MetricsRegistry`].
+    metrics: MetricSet,
+    /// Handles into `metrics`, resolved once at construction.
+    ids: NicCounterIds,
+    /// Typed trace sink (disabled by default: recording costs nothing).
+    tracer: Tracer,
+    /// Mirrors `in_fifo.over_threshold()` so threshold crossings emit
+    /// exactly one raise/clear trace pair per backpressure episode.
+    in_threshold_traced: bool,
 }
 
 impl NetworkInterface {
@@ -245,6 +316,8 @@ impl NetworkInterface {
     pub fn new(node: NodeId, shape: MeshShape, config: NicConfig, num_pages: u64) -> Self {
         config.validate();
         let coord = shape.coord_of(node);
+        let mut metrics = MetricSet::new();
+        let ids = NicCounterIds::register(&mut metrics);
         NetworkInterface {
             node,
             coord,
@@ -263,8 +336,27 @@ impl NetworkInterface {
             ctl_queue: std::collections::VecDeque::new(),
             fault: None,
             stall_until: None,
-            stats: NicStats::default(),
+            metrics,
+            ids,
+            tracer: Tracer::disabled(),
+            in_threshold_traced: false,
         }
+    }
+
+    /// Installs the typed trace sink. Tracing is off until this is called
+    /// (and free when the installed tracer is disabled).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The trace events recorded by this NIC so far.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// This NIC's trace component id (`nic0`, `nic1`, …).
+    fn component(&self) -> ComponentId {
+        ComponentId::nic(self.node.0)
     }
 
     /// Arms transient receive-stall fault injection on this NIC.
@@ -302,9 +394,44 @@ impl NetworkInterface {
         self.cmd_space
     }
 
-    /// Counters.
+    /// Counters, rebuilt as a plain struct from the metric set (the
+    /// registry view is [`NetworkInterface::register_metrics`]).
     pub fn stats(&self) -> NicStats {
-        self.stats
+        let v = |id| self.metrics.get(id);
+        NicStats {
+            packets_sent: v(self.ids.packets_sent),
+            bytes_sent: v(self.ids.bytes_sent),
+            packets_received: v(self.ids.packets_received),
+            bytes_received: v(self.ids.bytes_received),
+            merged_writes: v(self.ids.merged_writes),
+            single_write_packets: v(self.ids.single_write_packets),
+            blocked_write_packets: v(self.ids.blocked_write_packets),
+            dma_packets: v(self.ids.dma_packets),
+            crc_drops: v(self.ids.crc_drops),
+            misroutes: v(self.ids.misroutes),
+            unmapped_drops: v(self.ids.unmapped_drops),
+            retransmissions: v(self.ids.retransmissions),
+            retx_timeouts: v(self.ids.retx_timeouts),
+            acks_sent: v(self.ids.acks_sent),
+            acks_received: v(self.ids.acks_received),
+            nacks_sent: v(self.ids.nacks_sent),
+            nacks_received: v(self.ids.nacks_received),
+            dup_drops: v(self.ids.dup_drops),
+            gap_drops: v(self.ids.gap_drops),
+            fault_stalls: v(self.ids.fault_stalls),
+        }
+    }
+
+    /// Registers this NIC's counters and FIFO gauges under `prefix`
+    /// (e.g. `nic0` → `nic0.packets_sent`, `nic0.fifo.out.occupancy`).
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.extend_set(prefix, &self.metrics);
+        for (name, fifo) in [("out", &self.out_fifo), ("in", &self.in_fifo)] {
+            reg.set_gauge(format!("{prefix}.fifo.{name}.occupancy"), fifo.bytes() as f64);
+            reg.set_counter(format!("{prefix}.fifo.{name}.peak_bytes"), fifo.high_watermark());
+            reg.set_counter(format!("{prefix}.fifo.{name}.pushes"), fifo.pushes());
+            reg.set_counter(format!("{prefix}.fifo.{name}.rejections"), fifo.rejections());
+        }
     }
 
     /// The DMA engine (primarily for inspection in tests and benches).
@@ -344,7 +471,7 @@ impl NetworkInterface {
             UpdatePolicy::AutomaticSingle => {
                 self.flush_pending(now);
                 let dst = seg.translate(addr.offset());
-                self.stats.single_write_packets += 1;
+                self.metrics.incr(self.ids.single_write_packets);
                 // A snooped store is at most a word: the payload inlines.
                 self.queue_packet(
                     now + self.config.packetize_latency,
@@ -364,7 +491,7 @@ impl NetworkInterface {
                     p.data.extend_from_slice(data);
                     p.next_offset += data.len() as u64;
                     p.last_write = now;
-                    self.stats.merged_writes += 1;
+                    self.metrics.incr(self.ids.merged_writes);
                     SnoopOutcome::Merged
                 } else {
                     self.flush_pending(now);
@@ -389,7 +516,7 @@ impl NetworkInterface {
         let Some(p) = self.pending.take() else {
             return false;
         };
-        self.stats.blocked_write_packets += 1;
+        self.metrics.incr(self.ids.blocked_write_packets);
         self.queue_packet(
             now + self.config.packetize_latency,
             p.dst_node,
@@ -410,15 +537,15 @@ impl NetworkInterface {
             }
         }
         self.refill_from_overflow(now);
-        if !self.out_fifo.over_threshold() {
-            self.out_threshold_raised = false;
-        }
+        self.clear_out_threshold(now);
         if self.stall_until.is_some_and(|s| now >= s) {
             self.stall_until = None;
         }
         if let Some(st) = self.retx.as_mut() {
             let max_rto = self.config.retx.max_timeout;
-            for peer in st.send.values_mut() {
+            let base_rto = self.config.retx.base_timeout;
+            let component = ComponentId::nic(self.node.0);
+            for (&peer_id, peer) in st.send.iter_mut() {
                 if peer.unacked.is_empty() {
                     peer.timeout_at = None;
                     peer.resend_from = None;
@@ -428,7 +555,21 @@ impl NetworkInterface {
                     peer.resend_from = Some(peer.base_seq);
                     peer.rto = (peer.rto * 2).min(max_rto);
                     peer.timeout_at = Some(now + peer.rto);
-                    self.stats.retx_timeouts += 1;
+                    self.metrics.incr(self.ids.retx_timeouts);
+                    if self.tracer.wants(TraceLevel::Warn) {
+                        let attempt =
+                            (peer.rto.as_picos() / base_rto.as_picos().max(1)).max(1) as u32;
+                        self.tracer.emit(
+                            now,
+                            TraceLevel::Warn,
+                            component,
+                            TraceData::RetxTimeout {
+                                peer: peer_id,
+                                base_seq: peer.base_seq,
+                                attempt,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -476,9 +617,9 @@ impl NetworkInterface {
         dst_addr: PhysAddr,
         data: Payload,
     ) -> SnoopOutcome {
-        self.stats.packets_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
-        let packet = ShrimpPacket::new(
+        self.metrics.incr(self.ids.packets_sent);
+        self.metrics.add(self.ids.bytes_sent, data.len() as u64);
+        let mut packet = ShrimpPacket::new(
             WireHeader {
                 dst_coord: self.shape.coord_of(dst_node),
                 src: self.node,
@@ -486,11 +627,13 @@ impl NetworkInterface {
             },
             data,
         );
+        packet.stamp.born = ready_at;
         match self.out_fifo.try_push(ready_at, packet) {
             Ok(()) => {
                 if self.out_fifo.over_threshold() && !self.out_threshold_raised {
                     self.out_threshold_raised = true;
                     self.interrupts.push(NicInterrupt::OutgoingThreshold);
+                    self.trace_out_threshold(ready_at, true);
                 }
                 SnoopOutcome::Queued
             }
@@ -499,9 +642,61 @@ impl NetworkInterface {
                 if !self.out_threshold_raised {
                     self.out_threshold_raised = true;
                     self.interrupts.push(NicInterrupt::OutgoingThreshold);
+                    self.trace_out_threshold(ready_at, true);
                 }
                 SnoopOutcome::Stalled
             }
+        }
+    }
+
+    /// Emits an out-FIFO backpressure raise/clear trace event.
+    fn trace_out_threshold(&mut self, at: SimTime, raised: bool) {
+        if self.tracer.wants(TraceLevel::Info) {
+            let component = self.component();
+            let occupancy = self.out_fifo.bytes();
+            self.tracer.emit(
+                at,
+                TraceLevel::Info,
+                component,
+                TraceData::FifoThreshold {
+                    fifo: "out",
+                    raised,
+                    occupancy,
+                },
+            );
+        }
+    }
+
+    /// Clears the out-FIFO backpressure flag (tracing the transition)
+    /// once the FIFO has drained below its threshold.
+    fn clear_out_threshold(&mut self, now: SimTime) {
+        if self.out_threshold_raised && !self.out_fifo.over_threshold() {
+            self.out_threshold_raised = false;
+            self.trace_out_threshold(now, false);
+        }
+    }
+
+    /// Emits an in-FIFO backpressure trace event on threshold crossings.
+    /// Call after any Incoming FIFO push or pop.
+    fn trace_in_threshold(&mut self, now: SimTime) {
+        if !self.tracer.wants(TraceLevel::Info) {
+            return;
+        }
+        let over = self.in_fifo.over_threshold();
+        if over != self.in_threshold_traced {
+            self.in_threshold_traced = over;
+            let component = self.component();
+            let occupancy = self.in_fifo.bytes();
+            self.tracer.emit(
+                now,
+                TraceLevel::Info,
+                component,
+                TraceData::FifoThreshold {
+                    fifo: "in",
+                    raised: over,
+                    occupancy,
+                },
+            );
         }
     }
 
@@ -562,7 +757,8 @@ impl NetworkInterface {
             let (packet, _) = self.out_fifo.pop().expect("head peeked above");
             let seq = peer.next_seq;
             peer.next_seq += 1;
-            let framed = ShrimpPacket::with_link(
+            let stamp = packet.stamp;
+            let mut framed = ShrimpPacket::with_link(
                 *packet.header(),
                 packet.into_payload(),
                 LinkCtl {
@@ -570,21 +766,25 @@ impl NetworkInterface {
                     seq,
                 },
             );
+            framed.stamp = stamp;
+            framed.stamp.injected = now;
+            // Overflowed packets re-enter the FIFO with a fresh ready
+            // time, which can pull injection ahead of a future `born`
+            // (DMA done_at); clamp so the lifecycle stays monotone.
+            framed.stamp.born = framed.stamp.born.min(now);
             peer.unacked.push_back(framed.clone());
             peer.timeout_at = Some(now + peer.rto);
             self.refill_from_overflow(now);
-            if !self.out_fifo.over_threshold() {
-                self.out_threshold_raised = false;
-            }
+            self.clear_out_threshold(now);
             return Some(MeshPacket::new(self.node, dst, framed));
         }
-        let (packet, _) = self.out_fifo.pop()?;
+        let (mut packet, _) = self.out_fifo.pop()?;
+        packet.stamp.injected = now;
+        packet.stamp.born = packet.stamp.born.min(now);
         let dst = self.shape.id_at(packet.header().dst_coord);
         // Space freed: stalled packets enter the FIFO now.
         self.refill_from_overflow(now);
-        if !self.out_fifo.over_threshold() {
-            self.out_threshold_raised = false;
-        }
+        self.clear_out_threshold(now);
         Some(MeshPacket::new(self.node, dst, packet))
     }
 
@@ -612,12 +812,21 @@ impl NetworkInterface {
                 peer.resend_from = None;
                 continue;
             }
-            let framed = peer.unacked[idx].clone();
+            let mut framed = peer.unacked[idx].clone();
+            framed.stamp.injected = now;
             let next = from + 1;
             let more = (next.wrapping_sub(peer.base_seq) as usize) < peer.unacked.len();
             peer.resend_from = more.then_some(next);
             peer.timeout_at = Some(now + peer.rto);
-            self.stats.retransmissions += 1;
+            self.metrics.incr(self.ids.retransmissions);
+            if self.tracer.wants(TraceLevel::Warn) {
+                self.tracer.emit(
+                    now,
+                    TraceLevel::Warn,
+                    ComponentId::nic(node.0),
+                    TraceData::Retransmit { peer: peer_id, seq: from },
+                );
+            }
             return Some(MeshPacket::new(node, NodeId(peer_id), framed));
         }
         None
@@ -734,7 +943,7 @@ impl NetworkInterface {
         let started = self.dma.start(now, src, words, done_at);
         debug_assert!(started, "engine was idle");
         let dst = seg.translate(src.offset());
-        self.stats.dma_packets += 1;
+        self.metrics.incr(self.ids.dma_packets);
         // One buffer from here on: the Vec read from memory becomes the
         // refcounted payload shared by FIFO, mesh and delivery DMA.
         self.queue_packet(done_at, seg.dst_node, dst, Payload::from(data));
@@ -771,36 +980,40 @@ impl NetworkInterface {
         now: SimTime,
         packet: MeshPacket<ShrimpPacket>,
     ) -> Result<(), NicError> {
-        let packet = packet.into_payload();
+        let mut packet = packet.into_payload();
         if !packet.verify_crc() {
             // Corruption anywhere (header, payload, seq trailer) lands
             // here; with go-back-N on, the sender's timeout or a later
             // gap-nack triggers the resend.
-            self.stats.crc_drops += 1;
+            self.metrics.incr(self.ids.crc_drops);
             return Err(NicError::BadCrc);
         }
         if packet.header().dst_coord != self.coord {
-            self.stats.misroutes += 1;
+            self.metrics.incr(self.ids.misroutes);
             return Err(NicError::WrongDestination {
                 packet: packet.header().dst_coord,
                 local: self.coord,
             });
         }
         self.maybe_stall_after_arrival(now);
+        packet.stamp.accepted = now;
         let src = packet.header().src;
         match packet.link() {
             None => {
-                self.stats.packets_received += 1;
-                self.stats.bytes_received += packet.payload().len() as u64;
-                self.in_fifo
+                self.metrics.incr(self.ids.packets_received);
+                self.metrics.add(self.ids.bytes_received, packet.payload().len() as u64);
+                let pushed = self
+                    .in_fifo
                     .try_push(now, packet)
-                    .map_err(|_| NicError::IncomingFifoFull)
+                    .map_err(|_| NicError::IncomingFifoFull);
+                self.trace_in_threshold(now);
+                pushed
             }
             Some(LinkCtl {
                 kind: FrameKind::Ack,
                 seq,
             }) => {
-                self.stats.acks_received += 1;
+                self.metrics.incr(self.ids.acks_received);
                 self.handle_ack(now, src, seq);
                 Ok(())
             }
@@ -808,7 +1021,7 @@ impl NetworkInterface {
                 kind: FrameKind::Nack,
                 seq,
             }) => {
-                self.stats.nacks_received += 1;
+                self.metrics.incr(self.ids.nacks_received);
                 self.handle_nack(now, src, seq);
                 Ok(())
             }
@@ -832,12 +1045,14 @@ impl NetworkInterface {
         let Some(st) = self.retx.as_mut() else {
             // A framed packet with the local engine off (mixed
             // configuration): deliver it like a legacy packet.
-            self.stats.packets_received += 1;
-            self.stats.bytes_received += packet.payload().len() as u64;
-            return self
+            self.metrics.incr(self.ids.packets_received);
+            self.metrics.add(self.ids.bytes_received, packet.payload().len() as u64);
+            let pushed = self
                 .in_fifo
                 .try_push(now, packet)
                 .map_err(|_| NicError::IncomingFifoFull);
+            self.trace_in_threshold(now);
+            return pushed;
         };
         let peer = st.recv.entry(src.0).or_default();
         let expected = peer.expected;
@@ -849,26 +1064,27 @@ impl NetworkInterface {
                 drop(packet);
                 return Err(NicError::IncomingFifoFull);
             }
-            self.stats.packets_received += 1;
-            self.stats.bytes_received += payload_len;
+            self.metrics.incr(self.ids.packets_received);
+            self.metrics.add(self.ids.bytes_received, payload_len);
             let st = self.retx.as_mut().expect("engine checked above");
             let peer = st.recv.get_mut(&src.0).expect("entry created above");
             peer.expected = expected + 1;
             peer.last_nacked = None;
             let ack = peer.expected;
             self.queue_control(now, src, FrameKind::Ack, ack);
+            self.trace_in_threshold(now);
             Ok(())
         } else if seq < expected {
             // Already delivered (a replayed frame): re-ack so a lost ack
             // cannot stall the sender forever.
-            self.stats.dup_drops += 1;
+            self.metrics.incr(self.ids.dup_drops);
             self.queue_control(now, src, FrameKind::Ack, expected);
             Ok(())
         } else {
             // Gap: a predecessor died on the wire. Request a replay from
             // the hole, but only once per hole — the frames already in
             // flight behind it would each re-trigger it otherwise.
-            self.stats.gap_drops += 1;
+            self.metrics.incr(self.ids.gap_drops);
             let nack = peer.last_nacked != Some(expected);
             peer.last_nacked = Some(expected);
             if nack {
@@ -928,8 +1144,8 @@ impl NetworkInterface {
     /// Queues a link-level control frame for immediate injection.
     fn queue_control(&mut self, now: SimTime, dst: NodeId, kind: FrameKind, seq: u32) {
         match kind {
-            FrameKind::Ack => self.stats.acks_sent += 1,
-            FrameKind::Nack => self.stats.nacks_sent += 1,
+            FrameKind::Ack => self.metrics.incr(self.ids.acks_sent),
+            FrameKind::Nack => self.metrics.incr(self.ids.nacks_sent),
             FrameKind::Data => unreachable!("data frames travel via the FIFO"),
         }
         let frame = ShrimpPacket::control(self.shape.coord_of(dst), self.node, kind, seq);
@@ -945,7 +1161,7 @@ impl NetworkInterface {
                 if self.stall_until.is_none_or(|s| until > s) {
                     self.stall_until = Some(until);
                 }
-                self.stats.fault_stalls += 1;
+                self.metrics.incr(self.ids.fault_stalls);
             }
         }
     }
@@ -963,9 +1179,10 @@ impl NetworkInterface {
             return None;
         }
         let (packet, _) = self.in_fifo.pop().expect("head checked above");
+        self.trace_in_threshold(now);
         let page = packet.header().dst_addr.page();
         if !self.nipt.is_mapped_in(page) {
-            self.stats.unmapped_drops += 1;
+            self.metrics.incr(self.ids.unmapped_drops);
             self.interrupts.push(NicInterrupt::BadDelivery);
             return Some(Err(NicError::NotMappedIn { page }));
         }
@@ -975,12 +1192,14 @@ impl NetworkInterface {
         }
         let src = packet.header().src;
         let dst_addr = packet.header().dst_addr;
+        let stamp = packet.stamp;
         Some(Ok(IncomingDelivery {
             dst_addr,
             data: packet.into_payload(),
             ready_at,
             src,
             interrupt,
+            stamp,
         }))
     }
 

@@ -17,8 +17,36 @@
 use bytes::Bytes;
 use shrimp_mesh::{MeshCoord, MeshPayload, NodeId};
 use shrimp_mem::PhysAddr;
+use shrimp_sim::SimTime;
 
 use crate::error::NicError;
+
+/// Lifecycle timestamps stamped onto a packet as it moves through the
+/// datapath: creation (snoop/deliberate send), injection into the mesh
+/// (Outgoing FIFO pop), and acceptance at the receiving NIC (Incoming
+/// FIFO push). The stamp is simulation metadata, not part of the wire
+/// image: it is ignored by [`ShrimpPacket`] equality and never enters
+/// the CRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketStamp {
+    /// When the packet was created and queued on the sending NIC.
+    pub born: SimTime,
+    /// When the packet left the Outgoing FIFO for the mesh (updated on
+    /// every retransmission, so stage latencies reflect the final trip).
+    pub injected: SimTime,
+    /// When the receiving NIC accepted the packet into its Incoming FIFO.
+    pub accepted: SimTime,
+}
+
+impl Default for PacketStamp {
+    fn default() -> Self {
+        PacketStamp {
+            born: SimTime::ZERO,
+            injected: SimTime::ZERO,
+            accepted: SimTime::ZERO,
+        }
+    }
+}
 
 /// The decoded header of a SHRIMP packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,7 +277,7 @@ impl AsRef<[u8]> for Payload {
 /// assert_eq!(decoded.payload(), &[1, 2, 3, 4]);
 /// # Ok::<(), shrimp_nic::NicError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ShrimpPacket {
     header: WireHeader,
     payload: Payload,
@@ -257,7 +285,24 @@ pub struct ShrimpPacket {
     /// packets carry no trailer and their wire image is unchanged.
     link: Option<LinkCtl>,
     crc: u32,
+    /// Datapath lifecycle timestamps (simulation metadata; excluded from
+    /// equality and the CRC).
+    pub stamp: PacketStamp,
 }
+
+/// Equality covers the wire image only — the lifecycle stamp is
+/// simulation metadata, so a decoded packet compares equal to the one
+/// that was encoded.
+impl PartialEq for ShrimpPacket {
+    fn eq(&self, other: &ShrimpPacket) -> bool {
+        self.header == other.header
+            && self.payload == other.payload
+            && self.link == other.link
+            && self.crc == other.crc
+    }
+}
+
+impl Eq for ShrimpPacket {}
 
 impl ShrimpPacket {
     /// Builds a packet, computing its CRC.
@@ -274,6 +319,7 @@ impl ShrimpPacket {
             payload,
             link: None,
             crc,
+            stamp: PacketStamp::default(),
         }
     }
 
@@ -293,6 +339,7 @@ impl ShrimpPacket {
             payload,
             link: Some(link),
             crc,
+            stamp: PacketStamp::default(),
         }
     }
 
@@ -320,6 +367,7 @@ impl ShrimpPacket {
             payload,
             link: None,
             crc,
+            stamp: PacketStamp::default(),
         }
     }
 

@@ -27,20 +27,27 @@
 //! assert_eq!(t, SimTime::ZERO);
 //! ```
 
+pub mod chrome;
 pub mod event;
 pub mod fault;
+pub mod json;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chrome::{to_chrome_json, validate_chrome_json};
 pub use event::EventQueue;
 pub use fault::{
     FaultConfig, LinkFault, LinkFaultConfig, LinkFaultSite, NicFaultConfig, NicFaultSite,
+};
+pub use metrics::{
+    CounterId, HistogramSummary, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceLevel, Tracer};
+pub use trace::{ComponentId, TelemetryConfig, TraceData, TraceEvent, TraceLevel, Tracer};

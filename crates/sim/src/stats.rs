@@ -28,14 +28,15 @@ impl Counter {
         Counter { name, value: 0 }
     }
 
-    /// Adds `n` to the counter.
+    /// Adds `n` to the counter, saturating at `u64::MAX` — a wrap in a
+    /// long soak would silently corrupt statistics.
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
-    /// Adds one to the counter.
+    /// Adds one to the counter, saturating at `u64::MAX`.
     pub fn incr(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
     /// Current count.
@@ -164,7 +165,37 @@ impl Histogram {
         self.max
     }
 
+    /// Upper bound on the median sample. See [`Histogram::quantile_upper_bound`].
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Upper bound on the 95th-percentile sample.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.95)
+    }
+
+    /// Upper bound on the 99th-percentile sample.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.99)
+    }
+
     /// Merges another histogram into this one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shrimp_sim::Histogram;
+    ///
+    /// let mut per_node = Histogram::new();
+    /// per_node.record(10);
+    /// let mut machine_wide = Histogram::new();
+    /// machine_wide.record(2000);
+    /// machine_wide.merge(&per_node);
+    /// assert_eq!(machine_wide.count(), 2);
+    /// assert_eq!(machine_wide.min(), Some(10));
+    /// assert_eq!(machine_wide.max(), Some(2000));
+    /// ```
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
@@ -259,6 +290,35 @@ mod tests {
         assert_eq!(c.to_string(), "x=10");
         c.reset();
         assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new("soak");
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.value(), u64::MAX);
+        c.incr();
+        c.add(1 << 40);
+        assert_eq!(c.value(), u64::MAX, "saturated counter must stay pinned");
+    }
+
+    #[test]
+    fn histogram_percentile_accessors_match_known_distribution() {
+        // 100 samples 1..=100: p50 ≤ 64, p95/p99 ≤ 128 under the
+        // power-of-two bucket bounds, and every bound covers the true
+        // percentile value.
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(64));
+        assert_eq!(h.p95(), Some(128));
+        assert_eq!(h.p99(), Some(128));
+        assert!(h.p50().unwrap() >= 50);
+        assert!(h.p95().unwrap() >= 95);
+        assert!(h.p99().unwrap() >= 99);
+        assert_eq!(Histogram::new().p99(), None);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Lightweight event tracing.
+//! Typed, lazily-recorded event tracing.
 //!
-//! Components record [`TraceEvent`]s into a [`Tracer`]; tests and the
-//! benchmark harness inspect the trace to verify protocol behaviour (e.g.
-//! "the NIC stopped accepting packets while the Incoming FIFO was over its
-//! threshold") without adding observable state to the components
-//! themselves.
+//! Components emit structured [`TraceEvent`]s into a [`Tracer`]; tests
+//! inspect them to verify protocol behaviour, and the Chrome exporter
+//! ([`crate::chrome`]) turns the stream into a Perfetto-loadable trace.
+//! Payloads are a typed [`TraceData`] enum — no pre-formatted strings —
+//! so a disabled tracer costs one branch and zero allocation on the hot
+//! path, and allocating payloads can be deferred entirely with
+//! [`Tracer::emit_with`].
 
 use std::fmt;
 
@@ -21,17 +23,187 @@ pub enum TraceLevel {
     Warn,
 }
 
+/// Identifies the component an event came from: a kind tag plus an
+/// optional instance index (`nic0`, `mesh`, `machine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId {
+    /// Component kind, e.g. `"nic"`.
+    pub kind: &'static str,
+    /// Instance index for per-node components.
+    pub index: Option<u16>,
+}
+
+impl ComponentId {
+    /// The machine / event loop itself.
+    pub const MACHINE: ComponentId = ComponentId {
+        kind: "machine",
+        index: None,
+    };
+
+    /// The mesh backplane.
+    pub const MESH: ComponentId = ComponentId {
+        kind: "mesh",
+        index: None,
+    };
+
+    /// The network interface of one node.
+    pub const fn nic(node: u16) -> ComponentId {
+        ComponentId {
+            kind: "nic",
+            index: Some(node),
+        }
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}{}", self.kind, i),
+            None => f.write_str(self.kind),
+        }
+    }
+}
+
+/// The structured payload of one trace event.
+///
+/// Variants carry the fields the event taxonomy in DESIGN.md §5c
+/// defines; none of the typed variants allocate, so constructing one on
+/// a disabled tracer's behalf is free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceData {
+    /// A data packet entered the mesh.
+    PacketInjected {
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Wire bytes.
+        bytes: u32,
+        /// Go-back-N sequence number, when retransmission is on.
+        seq: Option<u32>,
+    },
+    /// A packet's payload reached destination memory.
+    PacketDelivered {
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// An Outgoing/Incoming FIFO crossed its programmable threshold.
+    FifoThreshold {
+        /// `"out"` or `"in"`.
+        fifo: &'static str,
+        /// True when the threshold was exceeded, false when it cleared.
+        raised: bool,
+        /// FIFO occupancy in bytes at the transition.
+        occupancy: u64,
+    },
+    /// The go-back-N retransmission timer fired.
+    RetxTimeout {
+        /// Peer node.
+        peer: u16,
+        /// Oldest unacknowledged sequence (replay starts here).
+        base_seq: u32,
+        /// Consecutive timeouts on this window (drives backoff).
+        attempt: u32,
+    },
+    /// A frame was retransmitted.
+    Retransmit {
+        /// Peer node.
+        peer: u16,
+        /// Sequence number replayed.
+        seq: u32,
+    },
+    /// An incoming-path DMA burst started.
+    DmaStart {
+        /// Destination node.
+        node: u16,
+        /// Bytes in the burst.
+        bytes: u32,
+    },
+    /// An incoming-path DMA burst completed.
+    DmaEnd {
+        /// Destination node.
+        node: u16,
+        /// Bytes in the burst.
+        bytes: u32,
+    },
+    /// `map()` installed a mapping.
+    PageMapped {
+        /// Destination node of the mapping.
+        node: u16,
+        /// Source virtual page number.
+        page: u64,
+    },
+    /// `unmap()` tore a mapping down.
+    PageUnmapped {
+        /// Destination node of the mapping.
+        node: u16,
+        /// Source virtual page number.
+        page: u64,
+    },
+    /// Pre-formatted text from the deprecated string API.
+    Legacy(String),
+}
+
+impl fmt::Display for TraceData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceData::PacketInjected {
+                src,
+                dst,
+                bytes,
+                seq,
+            } => match seq {
+                Some(s) => write!(f, "packet injected {src}->{dst} {bytes}B seq={s}"),
+                None => write!(f, "packet injected {src}->{dst} {bytes}B"),
+            },
+            TraceData::PacketDelivered { src, dst, bytes } => {
+                write!(f, "packet delivered {src}->{dst} {bytes}B")
+            }
+            TraceData::FifoThreshold {
+                fifo,
+                raised,
+                occupancy,
+            } => write!(
+                f,
+                "{fifo} fifo threshold {} at {occupancy}B",
+                if *raised { "raised" } else { "cleared" }
+            ),
+            TraceData::RetxTimeout {
+                peer,
+                base_seq,
+                attempt,
+            } => write!(f, "retx timeout peer={peer} base_seq={base_seq} attempt={attempt}"),
+            TraceData::Retransmit { peer, seq } => {
+                write!(f, "retransmit peer={peer} seq={seq}")
+            }
+            TraceData::DmaStart { node, bytes } => write!(f, "dma start node={node} {bytes}B"),
+            TraceData::DmaEnd { node, bytes } => write!(f, "dma end node={node} {bytes}B"),
+            TraceData::PageMapped { node, page } => {
+                write!(f, "page mapped dst_node={node} src_page={page}")
+            }
+            TraceData::PageUnmapped { node, page } => {
+                write!(f, "page unmapped dst_node={node} src_page={page}")
+            }
+            TraceData::Legacy(s) => f.write_str(s),
+        }
+    }
+}
+
 /// One recorded trace event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub time: SimTime,
     /// Severity class.
     pub level: TraceLevel,
-    /// Short component tag, e.g. `"nic0"`, `"mesh"`.
-    pub component: &'static str,
-    /// Human-readable description.
-    pub message: String,
+    /// Which component emitted it.
+    pub component: ComponentId,
+    /// Structured payload.
+    pub data: TraceData,
 }
 
 impl fmt::Display for TraceEvent {
@@ -39,7 +211,7 @@ impl fmt::Display for TraceEvent {
         write!(
             f,
             "[{} {:?} {}] {}",
-            self.time, self.level, self.component, self.message
+            self.time, self.level, self.component, self.data
         )
     }
 }
@@ -50,11 +222,15 @@ impl fmt::Display for TraceEvent {
 ///
 /// ```
 /// use shrimp_sim::{Tracer, TraceLevel, SimTime};
+/// use shrimp_sim::trace::{ComponentId, TraceData};
 ///
 /// let mut tracer = Tracer::new(TraceLevel::Info);
-/// tracer.record(SimTime::ZERO, TraceLevel::Debug, "bus", "ignored".into());
-/// tracer.record(SimTime::ZERO, TraceLevel::Info, "nic", "packet sent".into());
+/// tracer.emit(SimTime::ZERO, TraceLevel::Debug, ComponentId::MESH,
+///             TraceData::PacketDelivered { src: 0, dst: 1, bytes: 4 });
+/// tracer.emit(SimTime::ZERO, TraceLevel::Info, ComponentId::nic(0),
+///             TraceData::PacketInjected { src: 0, dst: 1, bytes: 22, seq: None });
 /// assert_eq!(tracer.events().len(), 1);
+/// assert!(tracer.contains("packet injected"));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
@@ -74,7 +250,7 @@ impl Tracer {
     }
 
     /// Creates a tracer that records nothing (zero overhead beyond the
-    /// level check).
+    /// enabled check).
     pub fn disabled() -> Self {
         Tracer {
             min_level: TraceLevel::Warn,
@@ -83,7 +259,54 @@ impl Tracer {
         }
     }
 
-    /// Records an event if tracing is enabled and the level qualifies.
+    /// True when an event at `level` would be recorded.
+    #[inline]
+    pub fn wants(&self, level: TraceLevel) -> bool {
+        self.enabled && level >= self.min_level
+    }
+
+    /// Records a typed event if tracing is enabled and the level
+    /// qualifies. The typed [`TraceData`] variants are plain values, so
+    /// callers may construct them unconditionally without allocating.
+    #[inline]
+    pub fn emit(&mut self, time: SimTime, level: TraceLevel, component: ComponentId, data: TraceData) {
+        if self.wants(level) {
+            self.events.push(TraceEvent {
+                time,
+                level,
+                component,
+                data,
+            });
+        }
+    }
+
+    /// Records an event whose payload is expensive to build (it
+    /// allocates or formats): `build` runs only when the event will
+    /// actually be kept.
+    #[inline]
+    pub fn emit_with(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        component: ComponentId,
+        build: impl FnOnce() -> TraceData,
+    ) {
+        if self.wants(level) {
+            let data = build();
+            self.events.push(TraceEvent {
+                time,
+                level,
+                component,
+                data,
+            });
+        }
+    }
+
+    /// Records a pre-formatted message under `component`.
+    #[deprecated(
+        note = "builds the String even when tracing is off; use the typed \
+                `emit`, or `emit_with` for payloads that must allocate"
+    )]
     pub fn record(
         &mut self,
         time: SimTime,
@@ -91,14 +314,15 @@ impl Tracer {
         component: &'static str,
         message: String,
     ) {
-        if self.enabled && level >= self.min_level {
-            self.events.push(TraceEvent {
-                time,
-                level,
-                component,
-                message,
-            });
-        }
+        self.emit(
+            time,
+            level,
+            ComponentId {
+                kind: component,
+                index: None,
+            },
+            TraceData::Legacy(message),
+        );
     }
 
     /// All recorded events, in recording order.
@@ -106,17 +330,19 @@ impl Tracer {
         &self.events
     }
 
-    /// Events from one component.
+    /// Events from one component (`"nic0"`, `"mesh"`, ...).
     pub fn events_for<'a>(
         &'a self,
         component: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.component == component)
+        self.events
+            .iter()
+            .filter(move |e| e.component.to_string() == component)
     }
 
-    /// True if any recorded message contains `needle`.
+    /// True if any recorded event's rendered form contains `needle`.
     pub fn contains(&self, needle: &str) -> bool {
-        self.events.iter().any(|e| e.message.contains(needle))
+        self.events.iter().any(|e| e.data.to_string().contains(needle))
     }
 
     /// Discards all recorded events.
@@ -136,34 +362,84 @@ impl Default for Tracer {
     }
 }
 
+/// What the machine observes about itself: both knobs default to off,
+/// and an all-off config must be bit-identical to a machine without the
+/// telemetry subsystem (pinned by `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Record typed trace events at this level and above.
+    pub trace_level: Option<TraceLevel>,
+    /// Record per-packet lifecycle latency histograms and breakdowns.
+    pub latency: bool,
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub fn off() -> Self {
+        TelemetryConfig::default()
+    }
+
+    /// Everything on at full verbosity.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            trace_level: Some(TraceLevel::Debug),
+            latency: true,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn delivered() -> TraceData {
+        TraceData::PacketDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 4,
+        }
+    }
+
     #[test]
     fn level_filtering() {
         let mut t = Tracer::new(TraceLevel::Info);
-        t.record(SimTime::ZERO, TraceLevel::Debug, "a", "low".into());
-        t.record(SimTime::ZERO, TraceLevel::Info, "a", "mid".into());
-        t.record(SimTime::ZERO, TraceLevel::Warn, "a", "high".into());
+        t.emit(SimTime::ZERO, TraceLevel::Debug, ComponentId::MESH, delivered());
+        t.emit(SimTime::ZERO, TraceLevel::Info, ComponentId::MESH, delivered());
+        t.emit(SimTime::ZERO, TraceLevel::Warn, ComponentId::MESH, delivered());
         assert_eq!(t.events().len(), 2);
     }
 
     #[test]
-    fn disabled_tracer_records_nothing() {
+    fn disabled_tracer_records_nothing_and_never_builds() {
         let mut t = Tracer::disabled();
-        t.record(SimTime::ZERO, TraceLevel::Warn, "a", "x".into());
+        t.emit(SimTime::ZERO, TraceLevel::Warn, ComponentId::MACHINE, delivered());
+        t.emit_with(SimTime::ZERO, TraceLevel::Warn, ComponentId::MACHINE, || {
+            panic!("payload built for a disabled tracer")
+        });
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
+        assert!(!t.wants(TraceLevel::Warn));
     }
 
     #[test]
     fn component_filter_and_contains() {
         let mut t = Tracer::new(TraceLevel::Debug);
-        t.record(SimTime::ZERO, TraceLevel::Info, "nic0", "packet sent".into());
-        t.record(SimTime::ZERO, TraceLevel::Info, "nic1", "packet recv".into());
+        t.emit(
+            SimTime::ZERO,
+            TraceLevel::Info,
+            ComponentId::nic(0),
+            TraceData::PacketInjected {
+                src: 0,
+                dst: 1,
+                bytes: 22,
+                seq: Some(7),
+            },
+        );
+        t.emit(SimTime::ZERO, TraceLevel::Info, ComponentId::nic(1), delivered());
         assert_eq!(t.events_for("nic0").count(), 1);
-        assert!(t.contains("recv"));
+        assert_eq!(t.events_for("nic1").count(), 1);
+        assert!(t.contains("seq=7"));
+        assert!(t.contains("delivered"));
         assert!(!t.contains("dropped"));
         t.clear();
         assert!(t.events().is_empty());
@@ -174,11 +450,34 @@ mod tests {
         let e = TraceEvent {
             time: SimTime::ZERO,
             level: TraceLevel::Warn,
-            component: "fifo",
-            message: "threshold crossed".into(),
+            component: ComponentId::nic(3),
+            data: TraceData::FifoThreshold {
+                fifo: "out",
+                raised: true,
+                occupancy: 4096,
+            },
         };
         let s = e.to_string();
-        assert!(s.contains("fifo"));
-        assert!(s.contains("threshold crossed"));
+        assert!(s.contains("nic3"), "{s}");
+        assert!(s.contains("out fifo threshold raised at 4096B"), "{s}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_record_shim_still_works() {
+        let mut t = Tracer::new(TraceLevel::Debug);
+        t.record(SimTime::ZERO, TraceLevel::Info, "bus", "legacy text".into());
+        assert_eq!(t.events_for("bus").count(), 1);
+        assert!(t.contains("legacy text"));
+    }
+
+    #[test]
+    fn telemetry_config_defaults_off() {
+        let c = TelemetryConfig::default();
+        assert_eq!(c, TelemetryConfig::off());
+        assert!(c.trace_level.is_none() && !c.latency);
+        let f = TelemetryConfig::full();
+        assert_eq!(f.trace_level, Some(TraceLevel::Debug));
+        assert!(f.latency);
     }
 }

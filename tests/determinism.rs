@@ -337,6 +337,19 @@ fn chaos_soak_battery() {
     }
 }
 
+/// Telemetry must observe, never perturb: with tracing and latency
+/// stamping fully enabled, the zero-fault pinned-baseline scenario must
+/// produce an `Observation` identical to the telemetry-off run — same
+/// delivery log, same stats, same event count, same final time.
+#[test]
+fn telemetry_on_matches_telemetry_off_baseline() {
+    let off = run_scenario();
+    let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+    cfg.telemetry = shrimp::sim::TelemetryConfig::full();
+    let on = run_workload(cfg, 0);
+    assert_eq!(off, on, "telemetry must not perturb the simulation");
+}
+
 /// Retransmission alone (no faults) must not change what the machine
 /// delivers — only add ack traffic.
 #[test]
