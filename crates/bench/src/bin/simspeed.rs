@@ -91,6 +91,9 @@ fn sender_setup(cfg: MachineConfig, pages: u64, policy: UpdatePolicy) -> Sender 
 /// Deliberate-update streaming of `bytes` (DMA bandwidth workload).
 fn bandwidth_workload(bytes: u64) -> Sample {
     let mut cfg = MachineConfig::prototype(MeshShape::new(2, 1));
+    // The trajectory samples always measure the sequential engine; the
+    // scaling sweep below covers the parallel one.
+    cfg.workers = 1;
     let pages = bytes.div_ceil(PAGE_SIZE);
     // Paper configs keep nodes at 1 MB to stay test-sized; this workload
     // streams more, so widen the physical memory (data + command pages).
@@ -123,6 +126,7 @@ fn bandwidth_workload(bytes: u64) -> Sample {
 /// word crosses the snoop, merge and packetization path).
 fn blocked_write_workload(bytes: u64) -> Sample {
     let mut cfg = MachineConfig::prototype(MeshShape::new(2, 1));
+    cfg.workers = 1;
     let pages = bytes.div_ceil(PAGE_SIZE);
     cfg.pages_per_node = 4 * pages.max(256);
     let mut w = sender_setup(cfg, pages, UpdatePolicy::AutomaticBlocked);
@@ -146,7 +150,8 @@ fn blocked_write_workload(bytes: u64) -> Sample {
 /// Repeated single-word automatic updates across a 4×4 mesh (latency
 /// workload: event-loop and per-packet overhead dominated).
 fn latency_workload(rounds: u64) -> Sample {
-    let cfg = MachineConfig::prototype(MeshShape::new(4, 4));
+    let mut cfg = MachineConfig::prototype(MeshShape::new(4, 4));
+    cfg.workers = 1;
     let src_node = NodeId(0);
     let dst_node = NodeId(15);
     let mut m = Machine::new(cfg);
@@ -186,6 +191,100 @@ fn latency_workload(rounds: u64) -> Sample {
         events: m.events_processed() - ev0,
         sim_bytes: delivered,
     }
+}
+
+/// One leg of the worker-scaling sweep: a fully symmetric ring stream
+/// on a 4×4 mesh. Every node runs the deliberate-update stream program
+/// to its ring successor, all sixteen programs started at the same
+/// instant, so their `CpuStep` events land on shared instants across
+/// distinct nodes — the shape the conservative parallel engine batches.
+/// Returns the measurement plus the number of batches the engine
+/// actually shipped to the worker pool (0 when `workers == 1`).
+fn scaling_workload(workers: usize, pages: u64) -> (Sample, u64) {
+    let n = 16usize;
+    let mut cfg = MachineConfig::prototype(MeshShape::new(4, 4));
+    cfg.workers = workers;
+    cfg.pages_per_node = 4 * pages.max(256);
+    let mut m = Machine::new(cfg);
+
+    let pids: Vec<_> = (0..n).map(|i| m.create_process(NodeId(i as u16))).collect();
+    let mut exports = Vec::new();
+    for (i, &pid) in pids.iter().enumerate() {
+        let dst_va = m.alloc_pages(NodeId(i as u16), pid, pages).expect("alloc dst");
+        let pred = NodeId(((i + n - 1) % n) as u16);
+        let export = m
+            .export_buffer(NodeId(i as u16), pid, dst_va, pages, Some(pred))
+            .expect("export");
+        exports.push(export);
+    }
+    let mut srcs = Vec::new();
+    for (i, &pid) in pids.iter().enumerate() {
+        let succ = (i + 1) % n;
+        let src_va = m.alloc_pages(NodeId(i as u16), pid, pages).expect("alloc src");
+        m.map(MapRequest {
+            src_node: NodeId(i as u16),
+            src_pid: pid,
+            src_va,
+            dst_node: NodeId(succ as u16),
+            export: exports[succ],
+            dst_offset: 0,
+            len: pages * PAGE_SIZE,
+            policy: UpdatePolicy::Deliberate,
+        })
+        .expect("map ring edge");
+        let mut cmd_delta = 0u32;
+        for p in 0..pages {
+            let cmd = m
+                .map_command_page(NodeId(i as u16), pid, src_va.add(p * PAGE_SIZE))
+                .expect("command page");
+            if p == 0 {
+                cmd_delta = (cmd.raw() - src_va.raw()) as u32;
+            }
+        }
+        let payload: Vec<u8> = (0..pages * PAGE_SIZE)
+            .map(|b| ((b as usize * 7 + i) % 251) as u8)
+            .collect();
+        m.poke(NodeId(i as u16), pid, src_va, &payload).expect("fill");
+        srcs.push((src_va, cmd_delta));
+    }
+    m.run_until_idle().expect("quiesce after setup");
+    m.clear_deliveries();
+
+    let program = shrimp_core::msglib::deliberate_stream_program();
+    for (i, (&pid, &(src_va, cmd_delta))) in pids.iter().zip(&srcs).enumerate() {
+        let node = NodeId(i as u16);
+        m.load_program(node, pid, program.clone());
+        m.set_reg(node, pid, Reg::R5, src_va.raw() as u32);
+        m.set_reg(node, pid, Reg::R7, cmd_delta);
+        m.set_reg(node, pid, Reg::R3, pages as u32);
+        m.set_reg(node, pid, Reg::R2, (PAGE_SIZE / 4) as u32);
+        m.set_reg(node, pid, Reg::R4, (PAGE_SIZE / 4) as u32);
+    }
+
+    let ev0 = m.events_processed();
+    let wall = Instant::now();
+    for (i, &pid) in pids.iter().enumerate() {
+        m.start(NodeId(i as u16), pid);
+    }
+    m.run_until_idle().expect("ring must drain");
+    let wall_seconds = wall.elapsed().as_secs_f64();
+    let delivered: u64 = m.deliveries().iter().map(|d| d.len).sum();
+    assert_eq!(delivered, n as u64 * pages * PAGE_SIZE, "every byte must arrive");
+    let name = match workers {
+        1 => "scaling_w1",
+        2 => "scaling_w2",
+        4 => "scaling_w4",
+        _ => "scaling",
+    };
+    (
+        Sample {
+            name,
+            wall_seconds,
+            events: m.events_processed() - ev0,
+            sim_bytes: delivered,
+        },
+        m.parallel_batches(),
+    )
 }
 
 fn json_field(s: &Sample) -> String {
@@ -243,6 +342,36 @@ fn main() {
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");
 
+    // Worker-count scaling sweep on the symmetric ring workload. The
+    // event counts must agree across worker counts — the parallel engine
+    // is bit-deterministic — so only wall clock may differ.
+    println!("\nscaling sweep (16-node ring, all nodes streaming):");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>10}",
+        "workers", "wall s", "events", "events/s", "batches"
+    );
+    let sweep: Vec<(usize, Sample, u64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|w| {
+            let (s, batches) = scaling_workload(w, 16);
+            (w, s, batches)
+        })
+        .collect();
+    for (w, s, batches) in &sweep {
+        println!(
+            "{:<10} {:>10.4} {:>12} {:>14.0} {:>10}",
+            w,
+            s.wall_seconds,
+            s.events,
+            s.events_per_sec(),
+            batches,
+        );
+        assert_eq!(
+            s.events, sweep[0].1.events,
+            "worker count changed the event count — determinism broken"
+        );
+    }
+
     // The same numbers in the unified shrimp.metrics.v1 schema. Note the
     // workloads run with telemetry off (the default): this benchmark
     // tracks the simulator's raw speed.
@@ -254,6 +383,13 @@ fn main() {
         reg.set_gauge(format!("{p}.events_per_sec"), s.events_per_sec());
         reg.set_counter(format!("{p}.sim_bytes"), s.sim_bytes);
         reg.set_gauge(format!("{p}.sim_bytes_per_sec"), s.sim_bytes_per_sec());
+    }
+    for (w, s, batches) in &sweep {
+        let p = format!("simspeed.scaling.workers{w}");
+        reg.set_gauge(format!("{p}.wall_seconds"), s.wall_seconds);
+        reg.set_counter(format!("{p}.events"), s.events);
+        reg.set_gauge(format!("{p}.events_per_sec"), s.events_per_sec());
+        reg.set_counter(format!("{p}.batches"), *batches);
     }
     write_metrics("simspeed", &reg.snapshot());
 }

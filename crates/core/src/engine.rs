@@ -1,0 +1,161 @@
+//! The conservative parallel execution core.
+//!
+//! SHRIMP nodes influence each other only through the mesh (at least one
+//! link latency away) and kernel messages (a configured latency away),
+//! so two *node-local* events at the same instant on *different* nodes
+//! are causally independent — the classic Chandy–Misra conservative
+//! lookahead, clamped to a single instant because a node may reschedule
+//! itself at zero delay (see DESIGN.md §5d for the full argument).
+//!
+//! [`WorkerPool`] keeps `workers` threads alive for the machine's
+//! lifetime. The machine forms a batch of same-instant events on
+//! pairwise-distinct nodes, ships each `(node, event)` to a worker, and
+//! every worker runs [`Node::execute`][crate::node::Node] — which
+//! mutates only its own node and records consequences in a
+//! `NodeEffects` action list. The machine then applies those lists *in
+//! the order the events were popped*, so the event queue evolves exactly
+//! as the sequential engine's would: results are bit-identical for any
+//! worker count.
+//!
+//! Soundness of the `*mut Node` sends: batch nodes are pairwise
+//! distinct (disjoint `&mut` regions of one `Vec<Node>`), and the
+//! coordinator blocks until every result has been received before it
+//! touches any node again.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use shrimp_sim::SimTime;
+
+use crate::config::MachineConfig;
+use crate::node::{Node, NodeEffects, NodeEvent};
+
+/// A raw node pointer that may cross a thread boundary for the duration
+/// of one batch (see the module docs for the aliasing argument).
+struct SendPtr(*mut Node);
+
+// SAFETY: the coordinator hands each worker a pointer to a distinct
+// element of its `Vec<Node>` and joins the batch (receives all results)
+// before touching the nodes again, so no two threads ever alias a node.
+unsafe impl Send for SendPtr {}
+
+struct Job {
+    slot: usize,
+    node: SendPtr,
+    t: SimTime,
+    ev: NodeEvent,
+}
+
+/// A persistent pool of node-execution workers.
+pub(crate) struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    results: Receiver<(usize, NodeEffects)>,
+    handles: Vec<JoinHandle<()>>,
+    next: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each holding its own copy of the
+    /// machine configuration.
+    pub(crate) fn new(workers: usize, config: MachineConfig) -> Self {
+        let (result_tx, results) = channel::<(usize, NodeEffects)>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let out = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("shrimp-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let mut fx = NodeEffects::default();
+                        // SAFETY: per the pool contract the pointer is
+                        // valid and unaliased until the result is sent.
+                        let node = unsafe { &mut *job.node.0 };
+                        node.execute(job.t, job.ev, &config, &mut fx);
+                        if out.send((job.slot, fx)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            results,
+            handles,
+            next: 0,
+        }
+    }
+
+    /// Ships one batch member to a worker (round-robin).
+    ///
+    /// # Safety
+    ///
+    /// `node` must stay valid and unaliased until the matching result is
+    /// received via [`WorkerPool::recv`].
+    pub(crate) unsafe fn submit(&mut self, slot: usize, node: *mut Node, t: SimTime, ev: NodeEvent) {
+        let w = self.next % self.senders.len();
+        self.next = self.next.wrapping_add(1);
+        self.senders[w]
+            .send(Job {
+                slot,
+                node: SendPtr(node),
+                t,
+                ev,
+            })
+            .expect("worker thread alive");
+    }
+
+    /// Receives one completed batch member.
+    pub(crate) fn recv(&self) -> (usize, NodeEffects) {
+        self.results.recv().expect("worker thread alive")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mesh::NodeId;
+
+    #[test]
+    fn pool_executes_on_distinct_nodes_and_joins() {
+        let config = MachineConfig::two_nodes();
+        let mut nodes: Vec<Node> = (0..2).map(|i| Node::new(NodeId(i), &config)).collect();
+        let mut pool = WorkerPool::new(2, config);
+        let base = nodes.as_mut_ptr();
+        for slot in 0..2 {
+            // SAFETY: distinct elements; joined below before reuse.
+            unsafe { pool.submit(slot, base.add(slot), SimTime::ZERO, NodeEvent::CpuStep) };
+        }
+        let mut seen = [false; 2];
+        for _ in 0..2 {
+            let (slot, fx) = pool.recv();
+            seen[slot] = true;
+            // An idle node's CpuStep is a no-op with no effects.
+            assert!(fx.actions.is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+        drop(pool); // joins cleanly
+    }
+}

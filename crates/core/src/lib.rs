@@ -26,10 +26,12 @@
 
 pub mod collective;
 pub mod config;
+mod engine;
 pub mod error;
 pub mod machine;
 pub mod mqueue;
 pub mod msglib;
+mod node;
 pub mod pram;
 
 pub use config::MachineConfig;

@@ -20,24 +20,22 @@
 //!    `CMPXCHG` against a command page and stream a page through the same
 //!    outgoing datapath.
 
-use std::collections::BTreeMap;
-
-use shrimp_cpu::{Cpu, MemoryBus, Program, Reg, StepResult};
-use shrimp_mem::{
-    CacheMode, CacheModel, EisaBus, MemError, PageNum, PhysAddr, PhysicalMemory, Tlb, VirtAddr,
-    XpressBus, PAGE_SIZE, WORD_SIZE,
-};
+use shrimp_cpu::{Cpu, Program, Reg};
+use shrimp_mem::{CacheMode, MemError, PageNum, PhysAddr, VirtAddr, PAGE_SIZE, WORD_SIZE};
 use shrimp_mesh::{MeshNetwork, NodeId};
-use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, Payload, ShrimpPacket, UpdatePolicy};
+use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, ShrimpPacket, UpdatePolicy};
 use shrimp_os::kernel::OutgoingRecord;
-use shrimp_os::{ExportId, Kernel, KernelMsg, OsError, Pid, RoundRobin, SchedDecision};
+use shrimp_os::{ExportId, Kernel, OsError, Pid};
 use shrimp_sim::{
-    to_chrome_json, ComponentId, EventQueue, Histogram, MetricsRegistry, MetricsSnapshot,
-    SimDuration, SimTime, TraceData, TraceEvent, TraceLevel, Tracer,
+    step, to_chrome_json, Component, ComponentId, Histogram, MetricsRegistry, MetricsSnapshot,
+    Scheduler, SimDuration, SimHost, SimTime, StepBound, StepOutcome, TraceData, TraceEvent,
+    TraceLevel, Tracer,
 };
 
 use crate::config::MachineConfig;
+use crate::engine::WorkerPool;
 use crate::error::MachineError;
+use crate::node::{Action, Node, NodeEffects, NodeEvent};
 
 /// Identifies one established mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -163,35 +161,14 @@ impl MachineTelemetry {
     }
 }
 
+/// A scheduled machine event: which node, and what it should do. The
+/// per-node behaviour lives in [`NodeEvent`]; this type only exists as
+/// the machine scheduler's event payload (it is public because it leaks
+/// through the [`SimHost`] associated type, not as API).
 #[derive(Debug, Clone)]
-enum Event {
-    CpuStep { node: u16 },
-    NicHousekeep { node: u16 },
-    DrainOutgoing { node: u16 },
-    PopIncoming { node: u16 },
-    DmaComplete { node: u16, addr: PhysAddr, data: Payload },
-    KernelMsg { node: u16, msg: KernelMsg },
-}
-
-#[derive(Debug)]
-struct NodeState {
-    kernel: Kernel,
-    mem: PhysicalMemory,
-    cache: CacheModel,
-    xpress: XpressBus,
-    eisa: EisaBus,
-    nic: NetworkInterface,
-    tlb: Tlb,
-    sched: RoundRobin,
-    cpus: BTreeMap<Pid, Cpu>,
-    running: Option<Pid>,
-    cpu_busy_until: SimTime,
-    /// Pending-wakeup dedup: earliest scheduled PopIncoming /
-    /// DrainOutgoing / NicHousekeep event, so the pump paths don't flood
-    /// the queue with redundant wakeups.
-    pop_wakeup: Option<SimTime>,
-    drain_wakeup: Option<SimTime>,
-    housekeep_wakeup: Option<SimTime>,
+pub struct Event {
+    pub(crate) node: u16,
+    pub(crate) ev: NodeEvent,
 }
 
 #[derive(Debug, Clone)]
@@ -236,19 +213,34 @@ struct Registration {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
-    nodes: Vec<NodeState>,
+    nodes: Vec<Node>,
     mesh: MeshNetwork<ShrimpPacket>,
-    events: EventQueue<Event>,
-    now: SimTime,
+    sched: Scheduler<Event>,
     registrations: Vec<Registration>,
     next_mapping: u32,
     interrupt_log: Vec<(SimTime, NodeId, NicInterrupt)>,
     syscall_log: Vec<(SimTime, NodeId, Pid, u32)>,
     delivery_log: Vec<DeliveryRecord>,
     drop_log: Vec<(SimTime, NodeId, NicError)>,
-    events_processed: u64,
+    node_events: Vec<u64>,
     tracer: Tracer,
     telemetry: MachineTelemetry,
+    /// Worker threads for the parallel engine (`None` when
+    /// `config.workers == 1`: the classic sequential loop).
+    pool: Option<WorkerPool>,
+    /// Sticky opt-out of batching: the §4.4 pageout/reestablish
+    /// protocol mutates *other* nodes instantaneously, which breaks the
+    /// same-instant independence argument, so the first `begin_pageout`
+    /// call pins the machine to inline execution.
+    serial_fallback: bool,
+    /// Reused effect buffers for the sequential hot path (zero
+    /// steady-state allocation).
+    scratch_fx: NodeEffects,
+    scratch_wakeups: NodeEffects,
+    /// Per-node "already in this batch" flags, reused across batches.
+    claimed: Vec<bool>,
+    /// Batches shipped to the worker pool (0 in sequential mode).
+    batches_run: u64,
 }
 
 impl Machine {
@@ -260,67 +252,59 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         config.validate();
         let shape = config.shape;
-        let mut nodes: Vec<NodeState> = shape
-            .iter_nodes()
-            .map(|id| NodeState {
-                kernel: Kernel::with_policy(
-                    id,
-                    config.pages_per_node,
-                    shrimp_os::kernel::ConsistencyPolicy::Invalidate,
-                ),
-                mem: PhysicalMemory::new(config.pages_per_node),
-                cache: CacheModel::new(config.cache),
-                xpress: XpressBus::new(config.bus),
-                eisa: EisaBus::new(config.bus),
-                nic: NetworkInterface::new(id, shape, config.nic, config.pages_per_node),
-                tlb: Tlb::new(config.tlb_entries),
-                sched: RoundRobin::new(config.quantum),
-                cpus: BTreeMap::new(),
-                running: None,
-                cpu_busy_until: SimTime::ZERO,
-                pop_wakeup: None,
-                drain_wakeup: None,
-                housekeep_wakeup: None,
-            })
-            .collect();
-        for (i, n) in nodes.iter_mut().enumerate() {
-            if let Some(site) = config.fault.nic_site(i as u64) {
-                n.nic.set_fault_injection(site);
-            }
-            if let Some(level) = config.telemetry.trace_level {
-                n.nic.set_tracer(Tracer::new(level));
-            }
-        }
+        let nodes: Vec<Node> = shape.iter_nodes().map(|id| Node::new(id, &config)).collect();
         let mut mesh = MeshNetwork::new(config.mesh);
         mesh.set_fault_injection(&config.fault);
         let tracer = match config.telemetry.trace_level {
             Some(level) => Tracer::new(level),
             None => Tracer::disabled(),
         };
+        let pool = (config.workers > 1).then(|| WorkerPool::new(config.workers, config));
+        let claimed = vec![false; nodes.len()];
+        let node_events = vec![0; nodes.len()];
         Machine {
             config,
             nodes,
             mesh,
             // Steady-state event volume scales with node count; a
             // generous initial capacity avoids heap churn mid-run.
-            events: EventQueue::with_capacity(256 * shape.nodes().max(1) as usize),
-            now: SimTime::ZERO,
+            sched: Scheduler::with_capacity(256 * shape.nodes().max(1) as usize),
             registrations: Vec::new(),
             next_mapping: 1,
             interrupt_log: Vec::new(),
             syscall_log: Vec::new(),
             delivery_log: Vec::new(),
             drop_log: Vec::new(),
-            events_processed: 0,
+            node_events,
             tracer,
             telemetry: MachineTelemetry::default(),
+            pool,
+            serial_fallback: false,
+            scratch_fx: NodeEffects::default(),
+            scratch_wakeups: NodeEffects::default(),
+            claimed,
+            batches_run: 0,
         }
     }
 
     /// Number of discrete events handled since construction; a measure of
     /// simulator work, independent of wall-clock (used by `simspeed`).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.sched.processed()
+    }
+
+    /// Events dispatched per node since construction (index = node id) —
+    /// a per-node breakdown of [`Machine::events_processed`].
+    pub fn node_event_counts(&self) -> &[u64] {
+        &self.node_events
+    }
+
+    /// Event batches shipped to the worker pool. Always 0 with
+    /// `workers == 1`; with more workers this confirms the parallel
+    /// engine actually engaged (it is deliberately NOT part of
+    /// [`Machine::metrics_snapshot`], which must be worker-invariant).
+    pub fn parallel_batches(&self) -> u64 {
+        self.batches_run
     }
 
     /// The configuration in force.
@@ -330,14 +314,14 @@ impl Machine {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.sched.now()
     }
 
-    fn node(&self, id: NodeId) -> &NodeState {
+    fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
     }
 
-    fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
         &mut self.nodes[id.0 as usize]
     }
 
@@ -481,7 +465,7 @@ impl Machine {
         self.next_mapping += 1;
         self.registrations.push(Registration { id, req });
         self.tracer.emit(
-            self.now,
+            self.now(),
             TraceLevel::Info,
             ComponentId::MACHINE,
             TraceData::PageMapped {
@@ -491,7 +475,7 @@ impl Machine {
         );
 
         // The map call is the deliberately slow, rare operation.
-        let done = self.now + self.config.map_syscall_cost;
+        let done = self.now() + self.config.map_syscall_cost;
         self.run_until(done);
         Ok(id)
     }
@@ -571,7 +555,7 @@ impl Machine {
         }
 
         self.tracer.emit(
-            self.now,
+            self.now(),
             TraceLevel::Info,
             ComponentId::MACHINE,
             TraceData::PageUnmapped {
@@ -579,7 +563,7 @@ impl Machine {
                 page: req.src_va.page().raw(),
             },
         );
-        let done = self.now + self.config.map_syscall_cost / 2;
+        let done = self.now() + self.config.map_syscall_cost / 2;
         self.run_until(done);
         Ok(())
     }
@@ -663,11 +647,17 @@ impl Machine {
 
     /// Makes a process runnable and kicks its node's CPU.
     pub fn start(&mut self, node: NodeId, pid: Pid) {
-        let now = self.now;
+        let now = self.now();
         let n = self.node_mut(node);
         n.sched.add(pid);
         let at = now.max(n.cpu_busy_until);
-        self.events.push(at, Event::CpuStep { node: node.0 });
+        self.sched.push(
+            at,
+            Event {
+                node: node.0,
+                ev: NodeEvent::CpuStep,
+            },
+        );
     }
 
     /// True when every loaded CPU has halted.
@@ -700,7 +690,7 @@ impl Machine {
     ) -> Result<(), MachineError> {
         assert!(va.is_word_aligned(), "poke must be word-aligned");
         assert_eq!(data.len() % WORD_SIZE as usize, 0, "poke length must be whole words");
-        let mut t = self.now;
+        let mut t = self.now();
         for (i, word) in data.chunks_exact(4).enumerate() {
             let value = u32::from_le_bytes(word.try_into().expect("4-byte chunk"));
             let addr = va.add(i as u64 * WORD_SIZE);
@@ -759,11 +749,19 @@ impl Machine {
     /// already in progress).
     pub fn begin_pageout(&mut self, node: NodeId, frame: PageNum) -> Result<(), MachineError> {
         let msgs = self.node_mut(node).kernel.begin_pageout(frame)?;
+        // The reestablish path this protocol arms mutates the
+        // destination node's kernel with zero delay, so same-instant
+        // node independence no longer holds: pin to inline execution.
+        self.serial_fallback = true;
         let latency = self.config.kernel_msg_latency;
+        let at = self.now() + latency;
         for (dst, msg) in msgs {
-            self.events.push(
-                self.now + latency,
-                Event::KernelMsg { node: dst.0, msg },
+            self.sched.push(
+                at,
+                Event {
+                    node: dst.0,
+                    ev: NodeEvent::KernelMsg { msg },
+                },
             );
         }
         Ok(())
@@ -792,40 +790,20 @@ impl Machine {
     /// Runs until `limit`, processing machine and mesh events in time
     /// order.
     pub fn run_until(&mut self, limit: SimTime) {
-        loop {
-            let tm = self.events.peek_time();
-            let tn = self.mesh.next_event_time();
-            let next = match (tm, tn) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
-            if next > limit {
-                break;
-            }
-            self.now = self.now.max(next);
-            if tn.is_some_and(|t| t <= next) {
-                self.mesh.advance(next);
-                self.pump_network(next);
-            }
-            while self.events.peek_time() == Some(next) {
-                let (_, ev) = self.events.pop().expect("peeked event");
-                self.handle(next, ev);
-            }
-        }
-        self.now = self.now.max(limit);
+        let bound = StepBound::until(limit);
+        while step(self, bound) == StepOutcome::Ran {}
+        self.sched.advance_clock(limit);
     }
 
     /// Runs for a span of simulated time.
     pub fn run_for(&mut self, d: SimDuration) {
-        let t = self.now + d;
+        let t = self.now() + d;
         self.run_until(t);
     }
 
     /// Runs until no machine or mesh events remain (all CPUs halted or
     /// spinning CPUs excepted — a spinning CPU never quiesces, so this
-    /// errors if more than `MAX_IDLE_STEPS` events fire without the
+    /// errors if more than `MAX_IDLE_STEPS` instants fire without the
     /// queues emptying).
     ///
     /// # Errors
@@ -836,123 +814,166 @@ impl Machine {
         const MAX_IDLE_STEPS: u64 = 50_000_000;
         let mut steps = 0u64;
         loop {
-            let tm = self.events.peek_time();
-            let tn = self.mesh.next_event_time();
-            let next = match (tm, tn) {
-                (None, None) => return Ok(()),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
             steps += 1;
             if steps > MAX_IDLE_STEPS {
                 return Err(MachineError::NoQuiescence);
             }
-            self.now = self.now.max(next);
-            if tn.is_some_and(|t| t <= next) {
-                self.mesh.advance(next);
-                self.pump_network(next);
-            }
-            while self.events.peek_time() == Some(next) {
-                let (_, ev) = self.events.pop().expect("peeked event");
-                self.handle(next, ev);
+            match step(self, StepBound::unbounded()) {
+                StepOutcome::Idle => return Ok(()),
+                StepOutcome::Ran => {}
+                StepOutcome::PastLimit => unreachable!("unbounded step has no limit"),
             }
         }
     }
 
-    /// Runs until `pred` holds, checking after every event, up to
-    /// `limit`. Returns whether the predicate held.
+    /// Runs until `pred` holds, checking between instants, up to
+    /// `limit`. Returns whether the predicate held. ([`step`] never
+    /// splits an instant, so the predicate always observes a consistent
+    /// inter-instant state.)
     pub fn run_until_pred(&mut self, limit: SimTime, mut pred: impl FnMut(&Machine) -> bool) -> bool {
+        let bound = StepBound::until(limit);
         loop {
             if pred(self) {
                 return true;
             }
-            let tm = self.events.peek_time();
-            let tn = self.mesh.next_event_time();
-            let next = match (tm, tn) {
-                (None, None) => return pred(self),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
-            if next > limit {
-                return false;
-            }
-            self.now = self.now.max(next);
-            if tn.is_some_and(|t| t <= next) {
-                self.mesh.advance(next);
-                self.pump_network(next);
-            }
-            while self.events.peek_time() == Some(next) {
-                let (_, ev) = self.events.pop().expect("peeked event");
-                self.handle(next, ev);
+            match step(self, bound) {
+                StepOutcome::Idle => return pred(self),
+                StepOutcome::PastLimit => return false,
+                StepOutcome::Ran => {}
             }
         }
     }
 
-    fn handle(&mut self, t: SimTime, ev: Event) {
-        self.events_processed += 1;
+    // ──────────────────────── event dispatching ──────────────────────────
+
+    /// Routes one popped event: batched across workers when the
+    /// parallel engine applies, inline otherwise.
+    fn dispatch_event(&mut self, t: SimTime, ev: Event) {
+        self.node_events[ev.node as usize] += 1;
+        // A batch is sound only for node-local events at one instant on
+        // pairwise-distinct nodes, with no mesh activity at that
+        // instant and no pageout protocol in flight (see DESIGN.md §5d).
+        // A leading DmaComplete can't batch: its network pump must run
+        // before the next event.
+        if self.pool.is_some()
+            && !self.serial_fallback
+            && ev.ev.is_node_local()
+            && !matches!(ev.ev, NodeEvent::DmaComplete { .. })
+            && Component::next_event_time(&self.mesh).is_none_or(|mt| mt > t)
+            && self.peek_batchable(t, ev.node)
+        {
+            self.run_batch(t, ev);
+        } else {
+            self.execute_inline(t, ev.node, ev.ev);
+        }
+    }
+
+    /// Whether the next queued event can join a batch led by an event
+    /// on `first_node` at instant `t`.
+    fn peek_batchable(&self, t: SimTime, first_node: u16) -> bool {
+        match self.sched.peek() {
+            Some((pt, e)) => pt == t && e.ev.is_node_local() && e.node != first_node,
+            None => false,
+        }
+    }
+
+    /// Forms the largest sound batch starting from `first`, executes its
+    /// members on the worker pool, and applies their effects in pop
+    /// order — which makes the result bit-identical to sequential
+    /// execution (the whole argument is in DESIGN.md §5d).
+    fn run_batch(&mut self, t: SimTime, first: Event) {
+        self.batches_run += 1;
+        for c in self.claimed.iter_mut() {
+            *c = false;
+        }
+        self.claimed[first.node as usize] = true;
+        let mut batch = vec![first];
+        loop {
+            let admit = matches!(
+                self.sched.peek(),
+                Some((pt, e)) if pt == t && e.ev.is_node_local() && !self.claimed[e.node as usize]
+            );
+            if !admit {
+                break;
+            }
+            let (_, e) = self.sched.pop().expect("peeked event");
+            self.node_events[e.node as usize] += 1;
+            self.claimed[e.node as usize] = true;
+            let is_dma = matches!(e.ev, NodeEvent::DmaComplete { .. });
+            batch.push(e);
+            if is_dma {
+                // Applying a DmaComplete pumps the whole network, so
+                // nothing may execute after it within the batch.
+                break;
+            }
+        }
+
+        // Worker phase: every member executes on its own node, in
+        // parallel. Effects are collected per slot.
+        let n = batch.len();
+        let mut results: Vec<Option<NodeEffects>> = (0..n).map(|_| None).collect();
+        let mut order = Vec::with_capacity(n);
+        let pool = self.pool.as_mut().expect("checked by dispatch_event");
+        let base = self.nodes.as_mut_ptr();
+        for (slot, e) in batch.into_iter().enumerate() {
+            order.push(e.node);
+            // SAFETY: batch nodes are pairwise distinct (`claimed`), the
+            // Vec is not resized while jobs are in flight, and all
+            // results are received below before the nodes are touched.
+            unsafe { pool.submit(slot, base.add(e.node as usize), t, e.ev) };
+        }
+        for _ in 0..n {
+            let (slot, fx) = pool.recv();
+            results[slot] = Some(fx);
+        }
+
+        // Commit phase: apply effect lists in pop order, sequentially.
+        for (slot, node) in order.into_iter().enumerate() {
+            let mut fx = results[slot].take().expect("one result per member");
+            self.apply_effects(t, NodeId(node), &mut fx);
+        }
+    }
+
+    /// Executes one event on the machine thread (the sequential path,
+    /// and every mesh-coupled event in parallel mode).
+    fn execute_inline(&mut self, t: SimTime, node: u16, ev: NodeEvent) {
         match ev {
-            Event::CpuStep { node } => self.cpu_step(t, NodeId(node)),
-            Event::NicHousekeep { node } => {
-                self.nodes[node as usize].housekeep_wakeup = None;
-                self.nodes[node as usize].nic.poll(t);
+            NodeEvent::NicHousekeep => {
+                let n = &mut self.nodes[node as usize];
+                n.housekeep_wakeup = None;
+                Component::advance(n, t);
                 self.schedule_node_wakeups(t, NodeId(node));
                 // A housekeep may end an injected FIFO stall or arm a
                 // retransmit replay; resume acceptance and push replays.
                 self.deliver_ejections(t, NodeId(node));
                 self.drain_outgoing(t, NodeId(node));
             }
-            Event::DrainOutgoing { node } => {
+            NodeEvent::DrainOutgoing => {
                 self.nodes[node as usize].drain_wakeup = None;
                 self.drain_outgoing(t, NodeId(node));
             }
-            Event::PopIncoming { node } => {
+            NodeEvent::PopIncoming => {
                 self.nodes[node as usize].pop_wakeup = None;
                 self.pop_incoming(t, NodeId(node));
             }
-            Event::DmaComplete { node, addr, data } => {
-                let len = data.len() as u64;
-                let n = &mut self.nodes[node as usize];
-                n.mem
-                    .write_bytes(addr, &data)
-                    .expect("NIPT-checked delivery must be in range");
-                n.cache.snoop_invalidate(addr, len);
-                // No src in this event; recorded at pop time instead.
-                self.pump_network(t);
-            }
-            Event::KernelMsg { node, msg } => {
-                let from = msg.from();
-                let (replies, scrub) = self.nodes[node as usize].kernel.handle_msg(msg);
-                // Remove the NIPT out-segments that pointed at the
-                // invalidated remote frame.
-                if let KernelMsg::InvalidateNipt { from: requester, frame } = msg {
-                    for src_frame in scrub {
-                        self.scrub_segments(NodeId(node), src_frame, requester, frame);
-                    }
-                }
-                self.flush_tlb(NodeId(node));
-                let latency = self.config.kernel_msg_latency;
-                for reply in replies {
-                    self.events.push(t + latency, Event::KernelMsg { node: from.0, msg: reply });
-                }
+            local => {
+                let mut fx = std::mem::take(&mut self.scratch_fx);
+                self.nodes[node as usize].execute(t, local, &self.config, &mut fx);
+                self.apply_effects(t, NodeId(node), &mut fx);
+                self.scratch_fx = fx;
             }
         }
     }
 
-    fn scrub_segments(&mut self, node: NodeId, src_frame: PageNum, dst_node: NodeId, dst_frame: PageNum) {
-        let nipt = self.nodes[node.0 as usize].nic.nipt_mut();
-        let starts: Vec<u64> = nipt
-            .entry(src_frame)
-            .map(|e| {
-                e.segments()
-                    .filter(|s| s.dst_node == dst_node && s.dst_base.page() == dst_frame)
-                    .map(|s| s.src_start)
-                    .collect()
-            })
-            .unwrap_or_default();
-        for start in starts {
-            nipt.clear_out_segment(src_frame, start);
+    /// Applies a node's recorded effects, in recording order.
+    fn apply_effects(&mut self, t: SimTime, node: NodeId, fx: &mut NodeEffects) {
+        for action in fx.actions.drain(..) {
+            match action {
+                Action::Push { at, node, ev } => self.sched.push(at, Event { node, ev }),
+                Action::Syscall { pid, code } => self.syscall_log.push((t, node, pid, code)),
+                Action::Fault { pid, error } => self.handle_fault(t, node, pid, error),
+                Action::PumpNetwork => self.pump_network(t),
+            }
         }
     }
 
@@ -994,11 +1015,10 @@ impl Machine {
 
     /// Schedules a deduplicated PopIncoming wakeup.
     fn push_pop_wakeup(&mut self, t: SimTime, node: NodeId, at: SimTime) {
-        let n = &mut self.nodes[node.0 as usize];
-        if n.pop_wakeup.is_none_or(|w| at < w || w < t) {
-            n.pop_wakeup = Some(at);
-            self.events.push(at, Event::PopIncoming { node: node.0 });
-        }
+        let mut fx = std::mem::take(&mut self.scratch_wakeups);
+        self.nodes[node.0 as usize].due_pop_wakeup(t, at, &mut fx);
+        self.apply_pushes(&mut fx);
+        self.scratch_wakeups = fx;
     }
 
     fn drain_outgoing(&mut self, t: SimTime, node: NodeId) {
@@ -1007,8 +1027,7 @@ impl Machine {
                 // Mesh backpressure: retried on the next mesh event.
                 break;
             }
-            let n = &mut self.nodes[node.0 as usize];
-            match n.nic.pop_outgoing(t) {
+            match self.nodes[node.0 as usize].drain_outbound(t) {
                 Some(pkt) => {
                     if self.tracer.wants(TraceLevel::Info) {
                         let inner = pkt.payload();
@@ -1090,12 +1109,14 @@ impl Machine {
                         len: delivery.data.len() as u64,
                         src: delivery.src,
                     });
-                    self.events.push(
+                    self.sched.push(
                         grant.end,
-                        Event::DmaComplete {
+                        Event {
                             node: node.0,
-                            addr: delivery.dst_addr,
-                            data: delivery.data,
+                            ev: NodeEvent::DmaComplete {
+                                addr: delivery.dst_addr,
+                                data: delivery.data,
+                            },
                         },
                     );
                 }
@@ -1121,166 +1142,23 @@ impl Machine {
     }
 
     fn schedule_node_wakeups(&mut self, t: SimTime, node: NodeId) {
-        let n = &self.nodes[node.0 as usize];
-        let housekeep = n.nic.next_deadline().map(|d| d.max(t));
-        let drain = n.nic.outgoing_ready_at().filter(|&r| r > t);
-        let pop = n.nic.incoming_ready_at().map(|r| r.max(t));
-        if let Some(at) = housekeep {
-            let n = &mut self.nodes[node.0 as usize];
-            if n.housekeep_wakeup.is_none_or(|w| at < w || w < t) {
-                n.housekeep_wakeup = Some(at);
-                self.events.push(at, Event::NicHousekeep { node: node.0 });
+        let mut fx = std::mem::take(&mut self.scratch_wakeups);
+        self.nodes[node.0 as usize].schedule_wakeups(t, &mut fx);
+        self.apply_pushes(&mut fx);
+        self.scratch_wakeups = fx;
+    }
+
+    /// Applies a wakeup-only effect list (nothing but event pushes).
+    fn apply_pushes(&mut self, fx: &mut NodeEffects) {
+        for action in fx.actions.drain(..) {
+            match action {
+                Action::Push { at, node, ev } => self.sched.push(at, Event { node, ev }),
+                other => unreachable!("wakeup scheduling only pushes events, got {other:?}"),
             }
-        }
-        if let Some(at) = drain {
-            let n = &mut self.nodes[node.0 as usize];
-            if n.drain_wakeup.is_none_or(|w| at < w || w < t) {
-                n.drain_wakeup = Some(at);
-                self.events.push(at, Event::DrainOutgoing { node: node.0 });
-            }
-        }
-        if let Some(at) = pop {
-            self.push_pop_wakeup(t, node, at);
         }
     }
 
-    // ─────────────────────────── CPU stepping ────────────────────────────
-
-    fn cpu_step(&mut self, t: SimTime, node: NodeId) {
-        let decision = {
-            let n = &mut self.nodes[node.0 as usize];
-            if t < n.cpu_busy_until {
-                return; // stale event
-            }
-            n.sched.tick(t)
-        };
-        let (pid, until) = match decision {
-            SchedDecision::Run { pid, until } => (pid, until),
-            SchedDecision::Idle => return,
-        };
-        {
-            let n = &mut self.nodes[node.0 as usize];
-            if n.running != Some(pid) {
-                // Dispatching onto an idle CPU is free (nothing to save);
-                // switching between processes costs a full context switch
-                // with a TLB flush.
-                let from_other = n.running.is_some();
-                n.tlb.flush();
-                n.running = Some(pid);
-                if from_other {
-                    let resume = t + self.config.context_switch_cost;
-                    n.cpu_busy_until = resume;
-                    // The incoming process's quantum starts once the
-                    // switch completes.
-                    n.sched.restart_quantum(resume);
-                    self.events.push(resume, Event::CpuStep { node: node.0 });
-                    return;
-                }
-            }
-        }
-
-        let Some(mut cpu) = self.nodes[node.0 as usize].cpus.remove(&pid) else {
-            // No program loaded: drop from the scheduler.
-            self.nodes[node.0 as usize].sched.remove(pid);
-            return;
-        };
-        let result = {
-            let n = &mut self.nodes[node.0 as usize];
-            let pages_per_node = self.config.pages_per_node;
-            let walk_latency = SimDuration::from_ns(100);
-            let Some(proc) = n.kernel.process(pid) else {
-                n.sched.remove(pid);
-                n.cpus.insert(pid, cpu);
-                return;
-            };
-            let mut bus = NodeBusView {
-                pt: proc.page_table(),
-                tlb: &mut n.tlb,
-                cache: &mut n.cache,
-                xpress: &mut n.xpress,
-                mem: &mut n.mem,
-                nic: &mut n.nic,
-                walk_latency,
-                pages_per_node,
-            };
-            // Batch a quantum of instructions into this one event. Only
-            // register-only instructions (no bus transaction, no trap,
-            // no halt) may run after the first: the batch breaks BEFORE
-            // any bus-visible instruction so it executes at its own
-            // event, after any intermediate events (DMA completions,
-            // deliveries) the unbatched loop would have processed first.
-            // A non-`Ran` result can therefore only come from the first
-            // instruction, at time `t`.
-            const CPU_BATCH: u32 = 32;
-            let mut now = t;
-            let mut steps = 0u32;
-            loop {
-                let r = cpu.step(now, &mut bus);
-                steps += 1;
-                if let StepResult::Ran { completes_at } = r {
-                    now = completes_at;
-                    if steps < CPU_BATCH
-                        && completes_at < until
-                        && cpu
-                            .program()
-                            .fetch(cpu.pc())
-                            .is_some_and(|i| i.is_register_only())
-                    {
-                        continue;
-                    }
-                }
-                break r;
-            }
-        };
-        let halted = cpu.is_halted();
-        self.nodes[node.0 as usize].cpus.insert(pid, cpu);
-
-        match result {
-            StepResult::Ran { completes_at } => {
-                let n = &mut self.nodes[node.0 as usize];
-                n.cpu_busy_until = completes_at;
-                self.events.push(completes_at, Event::CpuStep { node: node.0 });
-            }
-            StepResult::Halted => {
-                let n = &mut self.nodes[node.0 as usize];
-                n.sched.remove(pid);
-                n.running = None;
-                if halted {
-                    // Another process may be runnable.
-                    self.events.push(t, Event::CpuStep { node: node.0 });
-                }
-            }
-            StepResult::Blocked => {
-                // Outgoing FIFO over threshold: the CPU waits for drain.
-                let retry = {
-                    let n = &self.nodes[node.0 as usize];
-                    n.nic
-                        .outgoing_ready_at()
-                        .map_or(t + SimDuration::from_ns(100), |r| r.max(t) + SimDuration::from_ns(10))
-                };
-                self.events.push(retry, Event::CpuStep { node: node.0 });
-            }
-            StepResult::Syscall { code, completes_at } => {
-                self.syscall_log.push((t, node, pid, code));
-                let n = &mut self.nodes[node.0 as usize];
-                if code == 0 {
-                    // exit()
-                    n.sched.remove(pid);
-                    n.running = None;
-                    if let Some(c) = n.cpus.get_mut(&pid) {
-                        c.set_pc(usize::MAX - 1);
-                    }
-                    self.events.push(t, Event::CpuStep { node: node.0 });
-                } else {
-                    let resume = completes_at + self.config.fault_cost;
-                    n.cpu_busy_until = resume;
-                    self.events.push(resume, Event::CpuStep { node: node.0 });
-                }
-            }
-            StepResult::Fault { error } => self.handle_fault(t, node, pid, error),
-        }
-        self.schedule_node_wakeups(t, node);
-    }
+    // ─────────────────────────── fault service ───────────────────────────
 
     fn handle_fault(&mut self, t: SimTime, node: NodeId, pid: Pid, error: MemError) {
         if let MemError::ProtectionViolation { addr, write: true } = error {
@@ -1296,7 +1174,13 @@ impl Machine {
                     let resume = t + cost;
                     let n = &mut self.nodes[node.0 as usize];
                     n.cpu_busy_until = resume;
-                    self.events.push(resume, Event::CpuStep { node: node.0 });
+                    self.sched.push(
+                        resume,
+                        Event {
+                            node: node.0,
+                            ev: NodeEvent::CpuStep,
+                        },
+                    );
                     self.flush_tlb(node);
                     return;
                 }
@@ -1307,7 +1191,13 @@ impl Machine {
         n.sched.remove(pid);
         n.running = None;
         self.syscall_log.push((t, node, pid, u32::MAX));
-        self.events.push(t, Event::CpuStep { node: node.0 });
+        self.sched.push(
+            t,
+            Event {
+                node: node.0,
+                ev: NodeEvent::CpuStep,
+            },
+        );
     }
 
     fn reestablish(&mut self, node: NodeId, pid: Pid, rec: OutgoingRecord) -> bool {
@@ -1411,23 +1301,9 @@ impl Machine {
         va: VirtAddr,
         value: u32,
     ) -> Result<SimTime, MachineError> {
-        let n = &mut self.nodes[node.0 as usize];
         let pages_per_node = self.config.pages_per_node;
-        let proc = n
-            .kernel
-            .process(pid)
-            .ok_or(MachineError::Os(OsError::NoSuchProcess(pid)))?;
-        let mut bus = NodeBusView {
-            pt: proc.page_table(),
-            tlb: &mut n.tlb,
-            cache: &mut n.cache,
-            xpress: &mut n.xpress,
-            mem: &mut n.mem,
-            nic: &mut n.nic,
-            walk_latency: SimDuration::from_ns(100),
-            pages_per_node,
-        };
-        let done = bus.store_word(t, va, value)?;
+        let done =
+            self.nodes[node.0 as usize].store_word_through(t, pid, va, value, pages_per_node)?;
         self.schedule_node_wakeups(t, node);
         Ok(done)
     }
@@ -1478,7 +1354,7 @@ impl Machine {
     /// the run so far.
     pub fn eisa_stats(&self, node: NodeId) -> (u64, f64) {
         let n = self.node(node);
-        (n.eisa.bytes_total(), n.eisa.achieved_rate(self.now))
+        (n.eisa.bytes_total(), n.eisa.achieved_rate(self.now()))
     }
 
     /// Clears the delivery log (between experiment phases).
@@ -1513,7 +1389,7 @@ impl Machine {
         reg.set_counter("mesh.packets_dropped", ms.packets_dropped);
         reg.set_counter("mesh.packets_corrupted", ms.packets_corrupted);
         reg.set_counter("mesh.packets_jittered", ms.packets_jittered);
-        let elapsed = self.now.as_picos();
+        let elapsed = self.now().as_picos();
         for (a, b, u) in self.mesh.link_usage() {
             reg.set_counter(format!("mesh.link.{}-{}.bytes", a.0, b.0), u.bytes);
             let util = if elapsed == 0 {
@@ -1523,8 +1399,8 @@ impl Machine {
             };
             reg.set_gauge(format!("mesh.link.{}-{}.util", a.0, b.0), util);
         }
-        reg.set_counter("machine.events_processed", self.events_processed);
-        reg.set_counter("machine.sim_time_ps", self.now.as_picos());
+        reg.set_counter("machine.events_processed", self.sched.processed());
+        reg.set_counter("machine.sim_time_ps", self.now().as_picos());
         reg.set_counter("machine.deliveries", self.delivery_log.len() as u64);
         reg.set_counter("machine.drops", self.drop_log.len() as u64);
         if self.telemetry.e2e.count() > 0 {
@@ -1548,182 +1424,31 @@ impl Machine {
     }
 }
 
-// ───────────────────────────── the bus view ─────────────────────────────
+// ─────────────────────────── the host wiring ────────────────────────────
 
-/// The CPU's window onto one node's memory system: page-table
-/// translation with a TLB, the snooping cache, the Xpress bus (with NIC
-/// snooping of write-through stores), and command-page decoding.
-struct NodeBusView<'a> {
-    pt: &'a shrimp_mem::PageTable,
-    tlb: &'a mut Tlb,
-    cache: &'a mut CacheModel,
-    xpress: &'a mut XpressBus,
-    mem: &'a mut PhysicalMemory,
-    nic: &'a mut NetworkInterface,
-    walk_latency: SimDuration,
-    pages_per_node: u64,
-}
+/// The machine as a [`SimHost`]: its scheduler drives the nodes, the
+/// mesh backplane is the coupled external [`Component`], and dispatch
+/// routes events through the sequential or parallel engine. The three
+/// public run methods are thin wrappers over [`step`] with different
+/// stop conditions.
+impl SimHost for Machine {
+    type Event = Event;
 
-impl NodeBusView<'_> {
-    fn translate(
-        &mut self,
-        now: SimTime,
-        va: VirtAddr,
-        write: bool,
-    ) -> Result<(PhysAddr, CacheMode, SimTime), MemError> {
-        let vpn = va.page();
-        if let Some((frame, flags)) = self.tlb.lookup(vpn) {
-            if write && !flags.protection.allows_write() {
-                return Err(MemError::ProtectionViolation { addr: va, write });
-            }
-            return Ok((frame.at_offset(va.offset()), flags.cache_mode, now));
-        }
-        let tr = if write {
-            self.pt.translate_write(va)?
-        } else {
-            self.pt.translate_read(va)?
-        };
-        self.tlb.insert(vpn, tr.frame, tr.flags);
-        Ok((tr.phys, tr.flags.cache_mode, now + self.walk_latency))
+    fn scheduler(&mut self) -> &mut Scheduler<Event> {
+        &mut self.sched
     }
 
-    fn is_command(&self, phys: PhysAddr) -> bool {
-        phys.page().raw() >= self.pages_per_node
-    }
-}
-
-impl MemoryBus for NodeBusView<'_> {
-    fn load_word(&mut self, now: SimTime, addr: VirtAddr) -> Result<(u32, SimTime), MemError> {
-        let (phys, _mode, t) = self.translate(now, addr, false)?;
-        if self.is_command(phys) {
-            // Command reads are uncached I/O reads over the bus.
-            let txn = self
-                .xpress
-                .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-            let v = self.nic.command_read(txn.grant.end, phys);
-            return Ok((v, txn.grant.end));
-        }
-        let outcome = self.cache.load(phys);
-        if outcome.bus_access {
-            if let Some(victim) = outcome.writeback {
-                self.xpress.write(
-                    t,
-                    victim,
-                    self.cache.config().line_size,
-                    shrimp_mem::BusInitiator::Cpu,
-                );
-            }
-            let txn = self.xpress.read(
-                t,
-                phys,
-                self.cache.config().line_size,
-                shrimp_mem::BusInitiator::Cpu,
-            );
-            let v = self.mem.read_word(phys)?;
-            return Ok((v, txn.grant.end));
-        }
-        let v = self.mem.read_word(phys)?;
-        Ok((v, t))
+    fn external_next(&self) -> Option<SimTime> {
+        Component::next_event_time(&self.mesh)
     }
 
-    fn store_word(&mut self, now: SimTime, addr: VirtAddr, value: u32) -> Result<SimTime, MemError> {
-        let (phys, mode, t) = self.translate(now, addr, true)?;
-        if self.is_command(phys) {
-            let txn = self
-                .xpress
-                .write(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-            let end = txn.grant.end;
-            // A plain store to a command page issues the encoded command.
-            // mem_read services deliberate-update DMA reads.
-            let mem = &mut *self.mem;
-            let xpress = &mut *self.xpress;
-            let _ = self.nic.command_write(end, phys, value, |src, len| {
-                let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                let data = mem.read_bytes(src, len).unwrap_or_else(|_| vec![0; len as usize]);
-                (data, txn.grant.end)
-            });
-            return Ok(end);
-        }
-        let outcome = self.cache.store(phys, mode);
-        let mut end = t;
-        if let Some(victim) = outcome.writeback {
-            self.xpress.write(
-                t,
-                victim,
-                self.cache.config().line_size,
-                shrimp_mem::BusInitiator::Cpu,
-            );
-        }
-        if outcome.bus_access {
-            let txn = self
-                .xpress
-                .write(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-            end = txn.grant.end;
-            if mode == CacheMode::WriteThrough {
-                // The NIC snoops the write off the bus (paper §3.1).
-                self.nic.snoop_write(end, phys, &value.to_le_bytes());
-            }
-        }
-        self.mem.write_word(phys, value)?;
-        Ok(end)
+    fn advance_external(&mut self, t: SimTime) {
+        Component::advance(&mut self.mesh, t);
+        self.pump_network(t);
     }
 
-    fn cmpxchg_word(
-        &mut self,
-        now: SimTime,
-        addr: VirtAddr,
-        expected: u32,
-        new: u32,
-    ) -> Result<(u32, SimTime), MemError> {
-        let (phys, mode, t) = self.translate(now, addr, true)?;
-        if self.is_command(phys) {
-            // The §4.3 protocol: the read cycle returns the DMA status;
-            // if it matches, the write cycle starts the transfer.
-            let txn = self
-                .xpress
-                .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-            let status = self.nic.command_read(txn.grant.end, phys);
-            let mut end = txn.grant.end;
-            if status == expected {
-                let wtxn = self
-                    .xpress
-                    .write(end, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-                end = wtxn.grant.end;
-                let mem = &mut *self.mem;
-                let xpress = &mut *self.xpress;
-                let _ = self.nic.command_write(end, phys, new, |src, len| {
-                    let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                    let data = mem
-                        .read_bytes(src, len)
-                        .unwrap_or_else(|_| vec![0; len as usize]);
-                    (data, txn.grant.end)
-                });
-            }
-            return Ok((status, end));
-        }
-        // A locked data-memory CMPXCHG: one atomic read-(maybe-)write
-        // bus transaction.
-        let txn = self
-            .xpress
-            .read(t, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-        let old = self.mem.read_word(phys)?;
-        let mut end = txn.grant.end;
-        if old == expected {
-            let wtxn = self
-                .xpress
-                .write(end, phys, WORD_SIZE, shrimp_mem::BusInitiator::Cpu);
-            end = wtxn.grant.end;
-            self.mem.write_word(phys, new)?;
-            let _ = self.cache.store(phys, mode);
-            if mode == CacheMode::WriteThrough {
-                self.nic.snoop_write(end, phys, &new.to_le_bytes());
-            }
-        }
-        Ok((old, end))
-    }
-
-    fn store_allowed(&self, _now: SimTime) -> bool {
-        !self.nic.cpu_must_stall()
+    fn dispatch(&mut self, t: SimTime, ev: Event) {
+        self.dispatch_event(t, ev);
     }
 }
 

@@ -483,6 +483,18 @@ impl<P: MeshPayload> MeshNetwork<P> {
     }
 }
 
+/// The mesh as a passive time-advancing component: the machine's run
+/// loop interleaves it with scheduler events through this interface.
+impl<P: MeshPayload> shrimp_sim::Component for MeshNetwork<P> {
+    fn next_event_time(&self) -> Option<SimTime> {
+        MeshNetwork::next_event_time(self)
+    }
+
+    fn advance(&mut self, until: SimTime) {
+        MeshNetwork::advance(self, until);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,9 +112,9 @@ impl FrameKind {
 }
 
 /// Link-level control trailer carried only when the go-back-N engine is
-/// enabled: a frame kind byte plus a per-(src,dst) sequence number. Legacy
-/// packets (retransmission off) omit it entirely, so the baseline wire
-/// format and CRC are unchanged.
+/// enabled: a frame kind byte plus a per-(src,dst) sequence number.
+/// Packets sent with retransmission off omit it entirely, so the
+/// baseline wire format and CRC are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkCtl {
     /// What this frame is.

@@ -34,6 +34,7 @@ pub mod json;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -48,6 +49,7 @@ pub use metrics::{
 };
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::SimRng;
+pub use sched::{step, Component, Scheduler, SimHost, StepBound, StepOutcome};
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ComponentId, TelemetryConfig, TraceData, TraceEvent, TraceLevel, Tracer};

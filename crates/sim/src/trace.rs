@@ -144,8 +144,6 @@ pub enum TraceData {
         /// Source virtual page number.
         page: u64,
     },
-    /// Pre-formatted text from the deprecated string API.
-    Legacy(String),
 }
 
 impl fmt::Display for TraceData {
@@ -188,7 +186,6 @@ impl fmt::Display for TraceData {
             TraceData::PageUnmapped { node, page } => {
                 write!(f, "page unmapped dst_node={node} src_page={page}")
             }
-            TraceData::Legacy(s) => f.write_str(s),
         }
     }
 }
@@ -300,29 +297,6 @@ impl Tracer {
                 data,
             });
         }
-    }
-
-    /// Records a pre-formatted message under `component`.
-    #[deprecated(
-        note = "builds the String even when tracing is off; use the typed \
-                `emit`, or `emit_with` for payloads that must allocate"
-    )]
-    pub fn record(
-        &mut self,
-        time: SimTime,
-        level: TraceLevel,
-        component: &'static str,
-        message: String,
-    ) {
-        self.emit(
-            time,
-            level,
-            ComponentId {
-                kind: component,
-                index: None,
-            },
-            TraceData::Legacy(message),
-        );
     }
 
     /// All recorded events, in recording order.
@@ -460,15 +434,6 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("nic3"), "{s}");
         assert!(s.contains("out fifo threshold raised at 4096B"), "{s}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_record_shim_still_works() {
-        let mut t = Tracer::new(TraceLevel::Debug);
-        t.record(SimTime::ZERO, TraceLevel::Info, "bus", "legacy text".into());
-        assert_eq!(t.events_for("bus").count(), 1);
-        assert!(t.contains("legacy text"));
     }
 
     #[test]

@@ -44,6 +44,13 @@ struct Observation {
 /// When `blocked_chunks > 0`, a blocked-write mapping from node 2 to
 /// node 1 joins in, exercising the merge window under fault load.
 fn run_workload(cfg: MachineConfig, blocked_chunks: u32) -> Observation {
+    run_workload_full(cfg, blocked_chunks).0
+}
+
+/// Like [`run_workload`] but also hands back the finished machine, for
+/// tests that need post-run state beyond the [`Observation`] (metrics
+/// snapshots, per-node event counts, batch counters).
+fn run_workload_full(cfg: MachineConfig, blocked_chunks: u32) -> (Observation, Machine) {
     let pages = 8u64;
     let mut cfg = cfg;
     cfg.pages_per_node = 4 * 256;
@@ -177,14 +184,15 @@ fn run_workload(cfg: MachineConfig, blocked_chunks: u32) -> Observation {
     }
 
     let nodes = 4u16;
-    Observation {
+    let obs = Observation {
         deliveries: m.deliveries().to_vec(),
         nic_stats: (0..nodes).map(|n| m.nic_stats(NodeId(n))).collect(),
         mesh_stats: m.mesh_stats().clone(),
         events_processed: m.events_processed(),
         final_time: m.now(),
         dest_mem,
-    }
+    };
+    (obs, m)
 }
 
 fn run_scenario() -> Observation {
@@ -276,8 +284,18 @@ fn zero_fault_run_matches_pinned_baseline() {
     }
 
     // FNV-1a over every delivery record, pinned from the pre-fault tree.
+    assert_eq!(
+        delivery_hash(&obs.deliveries),
+        0x5aa8_a3a8_ba18_2915,
+        "delivery records drifted"
+    );
+}
+
+/// FNV-1a over every field of every delivery record — one number that
+/// captures the exact content *and order* of the delivery log.
+fn delivery_hash(deliveries: &[DeliveryRecord]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for d in &obs.deliveries {
+    for d in deliveries {
         for v in [
             d.time.as_picos(),
             d.node.0 as u64,
@@ -289,7 +307,7 @@ fn zero_fault_run_matches_pinned_baseline() {
             h = h.wrapping_mul(0x0100_0000_01b3);
         }
     }
-    assert_eq!(h, 0x5aa8_a3a8_ba18_2915, "delivery records drifted");
+    h
 }
 
 /// Shared body of the chaos soaks: run the mixed workload under the
@@ -348,6 +366,171 @@ fn telemetry_on_matches_telemetry_off_baseline() {
     cfg.telemetry = shrimp::sim::TelemetryConfig::full();
     let on = run_workload(cfg, 0);
     assert_eq!(off, on, "telemetry must not perturb the simulation");
+}
+
+// ─────────────────── parallel engine determinism ─────────────────────
+
+/// A fully symmetric workload: every node on a 2×2 mesh streams `pages`
+/// deliberate-update pages to its ring successor, with all four CPU
+/// programs started at the same instant. Because the nodes run the
+/// identical program in lockstep, their `CpuStep` events land on the
+/// same instants on distinct nodes — exactly the shape the conservative
+/// parallel engine batches across worker threads.
+fn run_ring(cfg: MachineConfig) -> Machine {
+    let pages = 4u64;
+    let n = 4usize;
+    let mut cfg = cfg;
+    cfg.pages_per_node = 4 * 256;
+    let mut m = Machine::new(cfg);
+
+    let pids: Vec<_> = (0..n).map(|i| m.create_process(NodeId(i as u16))).collect();
+    let mut exports = Vec::new();
+    for (i, &pid) in pids.iter().enumerate() {
+        let dst_va = m.alloc_pages(NodeId(i as u16), pid, pages).expect("alloc dst");
+        let pred = NodeId(((i + n - 1) % n) as u16);
+        let export = m
+            .export_buffer(NodeId(i as u16), pid, dst_va, pages, Some(pred))
+            .expect("export");
+        exports.push(export);
+    }
+    let mut srcs = Vec::new();
+    for (i, &pid) in pids.iter().enumerate() {
+        let succ = (i + 1) % n;
+        let src_va = m.alloc_pages(NodeId(i as u16), pid, pages).expect("alloc src");
+        m.map(MapRequest {
+            src_node: NodeId(i as u16),
+            src_pid: pid,
+            src_va,
+            dst_node: NodeId(succ as u16),
+            export: exports[succ],
+            dst_offset: 0,
+            len: pages * PAGE_SIZE,
+            policy: UpdatePolicy::Deliberate,
+        })
+        .expect("map ring edge");
+        let mut cmd_delta = 0u32;
+        for p in 0..pages {
+            let cmd = m
+                .map_command_page(NodeId(i as u16), pid, src_va.add(p * PAGE_SIZE))
+                .expect("command page");
+            if p == 0 {
+                cmd_delta = (cmd.raw() - src_va.raw()) as u32;
+            }
+        }
+        let payload: Vec<u8> = (0..pages * PAGE_SIZE)
+            .map(|b| ((b as usize * 7 + i) % 251) as u8)
+            .collect();
+        m.poke(NodeId(i as u16), pid, src_va, &payload).expect("fill");
+        srcs.push((src_va, cmd_delta));
+    }
+    m.run_until_idle().expect("quiesce after setup");
+    m.clear_deliveries();
+
+    let program = shrimp::msglib::deliberate_stream_program();
+    for (i, (&pid, &(src_va, cmd_delta))) in pids.iter().zip(&srcs).enumerate() {
+        let node = NodeId(i as u16);
+        m.load_program(node, pid, program.clone());
+        m.set_reg(node, pid, Reg::R5, src_va.raw() as u32);
+        m.set_reg(node, pid, Reg::R7, cmd_delta);
+        m.set_reg(node, pid, Reg::R3, pages as u32);
+        m.set_reg(node, pid, Reg::R2, (PAGE_SIZE / 4) as u32);
+        m.set_reg(node, pid, Reg::R4, (PAGE_SIZE / 4) as u32);
+        m.start(node, pid);
+    }
+    m.run_until_idle().expect("ring drains");
+    m
+}
+
+/// The tentpole contract on a workload that demonstrably exercises the
+/// parallel path: for every worker count the delivery hash, the full
+/// metrics-snapshot JSON and the per-node event counts must be
+/// byte-identical to the sequential run — and with `workers >= 2` the
+/// engine must have actually shipped batches to the pool, not quietly
+/// fallen through to the inline path.
+#[test]
+fn worker_sweep_is_bit_identical_on_ring() {
+    let run = |workers: usize| {
+        let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+        cfg.workers = workers;
+        let m = run_ring(cfg);
+        (
+            delivery_hash(m.deliveries()),
+            m.metrics_snapshot().to_json(),
+            m.node_event_counts().to_vec(),
+            m.parallel_batches(),
+        )
+    };
+    let (h0, json0, counts0, batches0) = run(1);
+    assert_eq!(batches0, 0, "sequential engine must never batch");
+    assert!(
+        counts0.iter().all(|&c| c > 0),
+        "every node must process events: {counts0:?}"
+    );
+    for workers in [2usize, 4] {
+        let (h, json, counts, batches) = run(workers);
+        assert_eq!(h, h0, "delivery hash drifted at workers={workers}");
+        assert_eq!(json, json0, "metrics snapshot drifted at workers={workers}");
+        assert_eq!(counts, counts0, "event counts drifted at workers={workers}");
+        assert!(batches > 0, "engine never batched at workers={workers}");
+    }
+}
+
+/// The mixed workload (stream + ping-pong + host pokes) across worker
+/// counts: full `Observation` equality plus metrics-JSON and per-node
+/// event-count equality.
+#[test]
+fn worker_sweep_is_bit_identical_on_mixed_workload() {
+    let run = |workers: usize| {
+        let mut cfg = MachineConfig::prototype(MeshShape::new(2, 2));
+        cfg.workers = workers;
+        run_workload_full(cfg, 0)
+    };
+    let (obs0, m0) = run(1);
+    for workers in [2usize, 4] {
+        let (obs, m) = run(workers);
+        assert_eq!(obs, obs0, "observation drifted at workers={workers}");
+        assert_eq!(
+            m.metrics_snapshot().to_json(),
+            m0.metrics_snapshot().to_json(),
+            "metrics snapshot drifted at workers={workers}"
+        );
+        assert_eq!(
+            m.node_event_counts(),
+            m0.node_event_counts(),
+            "event counts drifted at workers={workers}"
+        );
+    }
+}
+
+/// Parallel determinism must survive fault injection: under 1% packet
+/// loss with retransmission on, every worker count reproduces the
+/// sequential run exactly — retry counters, drop sites and all.
+#[test]
+fn faulted_worker_sweep_is_bit_identical() {
+    let run = |workers: usize| {
+        let mut cfg = chaos_config(chaos_faults(0x5ee_d003, 0.01, 0.001));
+        cfg.workers = workers;
+        run_workload_full(cfg, 8)
+    };
+    let (obs0, m0) = run(1);
+    assert!(
+        obs0.mesh_stats.packets_dropped + obs0.mesh_stats.packets_corrupted > 0,
+        "fault rates must actually bite for this sweep to mean anything"
+    );
+    for workers in [2usize, 4] {
+        let (obs, m) = run(workers);
+        assert_eq!(obs, obs0, "faulted run drifted at workers={workers}");
+        assert_eq!(
+            m.metrics_snapshot().to_json(),
+            m0.metrics_snapshot().to_json(),
+            "faulted metrics drifted at workers={workers}"
+        );
+        assert_eq!(
+            m.node_event_counts(),
+            m0.node_event_counts(),
+            "faulted event counts drifted at workers={workers}"
+        );
+    }
 }
 
 /// Retransmission alone (no faults) must not change what the machine
