@@ -1,0 +1,48 @@
+//! A counting global allocator, enabled by the `alloc-stats` feature.
+//!
+//! The simspeed benchmark reports *allocations per simulated event* so
+//! the packet-arena work has a tracked trajectory: a hot path that
+//! stops allocating shows up as this number falling, independent of the
+//! machine's wall-clock noise. Counting every `alloc` costs one relaxed
+//! atomic increment, which would perturb the paper benchmarks, so the
+//! allocator is only installed when `shrimp-bench` is built with
+//! `--features alloc-stats`; without it [`allocations`] always returns
+//! zero and [`ENABLED`] is `false`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// True when the counting allocator is installed in this build.
+pub const ENABLED: bool = cfg!(feature = "alloc-stats");
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting each allocation
+/// (reallocations count too; frees do not).
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Total heap allocations since process start (0 unless [`ENABLED`]).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -8,12 +8,24 @@
 //!
 //! ```text
 //! cargo run --release -p shrimp-bench --bin simspeed
+//! cargo run --release -p shrimp-bench --features alloc-stats --bin simspeed
+//! cargo run --release -p shrimp-bench --bin simspeed -- --smoke
 //! ```
+//!
+//! With `--features alloc-stats` a counting global allocator is
+//! installed and every sample also reports heap allocations per
+//! simulated event — the number the packet arena is meant to drive
+//! toward zero on streaming workloads.
+//!
+//! `--smoke` runs a reduced 32×32-mesh scaling check meant for CI: the
+//! 1024-node ring at workers 1 and 8, asserting the delivery hash and
+//! event count are bit-identical and that single-worker throughput
+//! stays above a lenient floor.
 
 use std::time::Instant;
 
-use shrimp_bench::{banner, write_metrics};
-use shrimp_core::{Machine, MachineConfig, MapRequest};
+use shrimp_bench::{alloc_stats, banner, write_metrics};
+use shrimp_core::{DeliveryRecord, Machine, MachineConfig, MapRequest};
 use shrimp_cpu::Reg;
 use shrimp_mem::PAGE_SIZE;
 use shrimp_mesh::{MeshShape, NodeId};
@@ -25,6 +37,9 @@ struct Sample {
     wall_seconds: f64,
     events: u64,
     sim_bytes: u64,
+    /// Heap allocations during the measured region (0 unless the
+    /// `alloc-stats` feature installed the counting allocator).
+    allocs: u64,
 }
 
 impl Sample {
@@ -34,6 +49,33 @@ impl Sample {
     fn sim_bytes_per_sec(&self) -> f64 {
         self.sim_bytes as f64 / self.wall_seconds
     }
+    fn allocs_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.allocs as f64 / self.events as f64
+        }
+    }
+}
+
+/// FNV-1a over every field of every delivery record — one number that
+/// captures the exact content *and order* of the delivery log (the same
+/// fingerprint the determinism suite pins).
+fn delivery_hash(deliveries: &[DeliveryRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in deliveries {
+        for v in [
+            d.time.as_picos(),
+            d.node.0 as u64,
+            d.dst_addr.raw(),
+            d.len,
+            d.src.0 as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
 }
 
 struct Sender {
@@ -108,10 +150,12 @@ fn bandwidth_workload(bytes: u64) -> Sample {
     w.m.set_reg(NodeId(0), w.s, Reg::R4, (PAGE_SIZE / 4) as u32);
 
     let ev0 = w.m.events_processed();
+    let a0 = alloc_stats::allocations();
     let wall = Instant::now();
     w.m.start(NodeId(0), w.s);
     w.m.run_until_idle().expect("stream must drain");
     let wall_seconds = wall.elapsed().as_secs_f64();
+    let allocs = alloc_stats::allocations() - a0;
     let delivered: u64 = w.m.deliveries().iter().map(|d| d.len).sum();
     assert_eq!(delivered, pages * PAGE_SIZE, "every byte must arrive");
     Sample {
@@ -119,6 +163,7 @@ fn bandwidth_workload(bytes: u64) -> Sample {
         wall_seconds,
         events: w.m.events_processed() - ev0,
         sim_bytes: delivered,
+        allocs,
     }
 }
 
@@ -133,10 +178,12 @@ fn blocked_write_workload(bytes: u64) -> Sample {
     let data: Vec<u8> = (0..bytes).map(|i| (i % 241) as u8).collect();
 
     let ev0 = w.m.events_processed();
+    let a0 = alloc_stats::allocations();
     let wall = Instant::now();
     w.m.poke(NodeId(0), w.s, w.data_va, &data).expect("stores");
     w.m.run_until_idle().expect("stream must drain");
     let wall_seconds = wall.elapsed().as_secs_f64();
+    let allocs = alloc_stats::allocations() - a0;
     let delivered: u64 = w.m.deliveries().iter().map(|d| d.len).sum();
     assert_eq!(delivered, bytes, "every byte must arrive");
     Sample {
@@ -144,6 +191,7 @@ fn blocked_write_workload(bytes: u64) -> Sample {
         wall_seconds,
         events: w.m.events_processed() - ev0,
         sim_bytes: delivered,
+        allocs,
     }
 }
 
@@ -175,6 +223,7 @@ fn latency_workload(rounds: u64) -> Sample {
     .expect("map");
 
     let ev0 = m.events_processed();
+    let a0 = alloc_stats::allocations();
     let wall = Instant::now();
     for i in 0..rounds {
         let off = (i % (PAGE_SIZE / 4)) * 4;
@@ -183,6 +232,7 @@ fn latency_workload(rounds: u64) -> Sample {
         m.run_until_idle().expect("quiesce");
     }
     let wall_seconds = wall.elapsed().as_secs_f64();
+    let allocs = alloc_stats::allocations() - a0;
     let delivered: u64 = m.deliveries().iter().map(|d| d.len).sum();
     assert_eq!(delivered, rounds * 4, "every word must arrive");
     Sample {
@@ -190,21 +240,26 @@ fn latency_workload(rounds: u64) -> Sample {
         wall_seconds,
         events: m.events_processed() - ev0,
         sim_bytes: delivered,
+        allocs,
     }
 }
 
 /// One leg of the worker-scaling sweep: a fully symmetric ring stream
-/// on a 4×4 mesh. Every node runs the deliberate-update stream program
-/// to its ring successor, all sixteen programs started at the same
-/// instant, so their `CpuStep` events land on shared instants across
-/// distinct nodes — the shape the conservative parallel engine batches.
-/// Returns the measurement plus the number of batches the engine
-/// actually shipped to the worker pool (0 when `workers == 1`).
-fn scaling_workload(workers: usize, pages: u64) -> (Sample, u64) {
-    let n = 16usize;
-    let mut cfg = MachineConfig::prototype(MeshShape::new(4, 4));
+/// over **every node of a `dim`×`dim` mesh**. Each node runs the
+/// deliberate-update stream program to its ring successor, all programs
+/// started at the same instant, so eligible events land on shared
+/// lookahead windows across distinct nodes — the shape the conservative
+/// parallel engine batches. Returns the measurement, the number of
+/// window batches the engine shipped (0 when `workers == 1`), and the
+/// delivery-log fingerprint for cross-worker-count comparison.
+fn scaling_workload(dim: u16, workers: usize, pages: u64) -> (Sample, u64, u64) {
+    let n = dim as usize * dim as usize;
+    let mut cfg = MachineConfig::prototype(MeshShape::new(dim, dim));
     cfg.workers = workers;
-    cfg.pages_per_node = 4 * pages.max(256);
+    // Each node only touches `2 × pages` data pages plus kernel
+    // metadata; on a 1024-node mesh the paper default of 1 MB/node
+    // would cost a gigabyte of host RAM, so size memory to the workload.
+    cfg.pages_per_node = (8 * pages).max(32);
     let mut m = Machine::new(cfg);
 
     let pids: Vec<_> = (0..n).map(|i| m.create_process(NodeId(i as u16))).collect();
@@ -262,28 +317,35 @@ fn scaling_workload(workers: usize, pages: u64) -> (Sample, u64) {
     }
 
     let ev0 = m.events_processed();
+    let a0 = alloc_stats::allocations();
     let wall = Instant::now();
     for (i, &pid) in pids.iter().enumerate() {
         m.start(NodeId(i as u16), pid);
     }
     m.run_until_idle().expect("ring must drain");
     let wall_seconds = wall.elapsed().as_secs_f64();
+    let allocs = alloc_stats::allocations() - a0;
     let delivered: u64 = m.deliveries().iter().map(|d| d.len).sum();
     assert_eq!(delivered, n as u64 * pages * PAGE_SIZE, "every byte must arrive");
     let name = match workers {
-        1 => "scaling_w1",
-        2 => "scaling_w2",
-        4 => "scaling_w4",
-        _ => "scaling",
+        1 => "scaling1k_w1",
+        2 => "scaling1k_w2",
+        4 => "scaling1k_w4",
+        8 => "scaling1k_w8",
+        16 => "scaling1k_w16",
+        _ => "scaling1k",
     };
+    let hash = delivery_hash(m.deliveries());
     (
         Sample {
             name,
             wall_seconds,
             events: m.events_processed() - ev0,
             sim_bytes: delivered,
+            allocs,
         },
         m.parallel_batches(),
+        hash,
     )
 }
 
@@ -295,7 +357,8 @@ fn json_field(s: &Sample) -> String {
             "    \"events\": {},\n",
             "    \"events_per_sec\": {:.1},\n",
             "    \"sim_bytes\": {},\n",
-            "    \"sim_bytes_per_sec\": {:.1}\n",
+            "    \"sim_bytes_per_sec\": {:.1},\n",
+            "    \"allocs_per_event\": {:.4}\n",
             "  }}"
         ),
         s.name,
@@ -304,11 +367,48 @@ fn json_field(s: &Sample) -> String {
         s.events_per_sec(),
         s.sim_bytes,
         s.sim_bytes_per_sec(),
+        s.allocs_per_event(),
     )
 }
 
+/// CI smoke: the 32×32 ring at workers 1 and 8 must produce the same
+/// delivery fingerprint and event count, and single-worker throughput
+/// must clear a floor lenient enough for noisy shared runners.
+fn smoke() {
+    banner("simspeed --smoke: 32x32 scaling determinism check");
+    const FLOOR_EVENTS_PER_SEC: f64 = 25_000.0;
+    let (s1, _, h1) = scaling_workload(32, 1, 1);
+    let (s8, b8, h8) = scaling_workload(32, 8, 1);
+    for s in [&s1, &s8] {
+        println!(
+            "{:<14} {:>10.4}s {:>12} events {:>14.0} ev/s",
+            s.name,
+            s.wall_seconds,
+            s.events,
+            s.events_per_sec(),
+        );
+    }
+    println!("windows shipped at workers=8: {b8}");
+    assert_eq!(h1, h8, "delivery hash diverged between workers=1 and workers=8");
+    assert_eq!(s1.events, s8.events, "event count diverged between worker counts");
+    assert!(
+        s1.events_per_sec() >= FLOOR_EVENTS_PER_SEC,
+        "workers=1 throughput {:.0} ev/s fell below the {FLOOR_EVENTS_PER_SEC} floor",
+        s1.events_per_sec(),
+    );
+    println!("smoke OK: hashes match, {} events, floor cleared", s1.events);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
     banner("simspeed: simulator wall-clock throughput");
+    if alloc_stats::ENABLED {
+        println!("(alloc-stats on: allocs/event are real; wall clock is perturbed)\n");
+    }
 
     // Warm up allocator and caches with a small run before measuring.
     let _ = bandwidth_workload(64 * PAGE_SIZE);
@@ -320,57 +420,70 @@ fn main() {
     ];
 
     println!(
-        "{:<14} {:>10} {:>12} {:>14} {:>12} {:>16}",
-        "workload", "wall s", "events", "events/s", "sim bytes", "sim bytes/s"
+        "{:<14} {:>10} {:>12} {:>14} {:>12} {:>16} {:>10}",
+        "workload", "wall s", "events", "events/s", "sim bytes", "sim bytes/s", "allocs/ev"
     );
     for s in &samples {
         println!(
-            "{:<14} {:>10.4} {:>12} {:>14.0} {:>12} {:>16.0}",
+            "{:<14} {:>10.4} {:>12} {:>14.0} {:>12} {:>16.0} {:>10.3}",
             s.name,
             s.wall_seconds,
             s.events,
             s.events_per_sec(),
             s.sim_bytes,
             s.sim_bytes_per_sec(),
+            s.allocs_per_event(),
         );
     }
 
-    // Historical trajectory file, kept format-stable so perf PRs stay
-    // comparable across revisions.
-    let body = samples.iter().map(json_field).collect::<Vec<_>>().join(",\n");
-    let json = format!("{{\n{body}\n}}\n");
-    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
-    println!("\nwrote BENCH_simspeed.json");
-
-    // Worker-count scaling sweep on the symmetric ring workload. The
-    // event counts must agree across worker counts — the parallel engine
-    // is bit-deterministic — so only wall clock may differ.
-    println!("\nscaling sweep (16-node ring, all nodes streaming):");
+    // Worker-count scaling sweep: every node of a 32×32 mesh (1024
+    // nodes) streaming to its ring successor. The event counts and
+    // delivery fingerprints must agree across worker counts — the
+    // parallel engine is bit-deterministic — so only wall clock may
+    // differ.
+    println!("\nscaling sweep (32x32 mesh, 1024-node ring, all nodes streaming):");
     println!(
-        "{:<10} {:>10} {:>12} {:>14} {:>10}",
-        "workers", "wall s", "events", "events/s", "batches"
+        "{:<10} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "workers", "wall s", "events", "events/s", "batches", "allocs/ev"
     );
-    let sweep: Vec<(usize, Sample, u64)> = [1usize, 2, 4]
+    let sweep: Vec<(usize, Sample, u64, u64)> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .map(|w| {
-            let (s, batches) = scaling_workload(w, 16);
-            (w, s, batches)
+            let (s, batches, hash) = scaling_workload(32, w, 2);
+            (w, s, batches, hash)
         })
         .collect();
-    for (w, s, batches) in &sweep {
+    for (w, s, batches, hash) in &sweep {
         println!(
-            "{:<10} {:>10.4} {:>12} {:>14.0} {:>10}",
+            "{:<10} {:>10.4} {:>12} {:>14.0} {:>10} {:>10.3}",
             w,
             s.wall_seconds,
             s.events,
             s.events_per_sec(),
             batches,
+            s.allocs_per_event(),
         );
         assert_eq!(
             s.events, sweep[0].1.events,
             "worker count changed the event count — determinism broken"
         );
+        assert_eq!(
+            *hash, sweep[0].3,
+            "worker count changed the delivery log — determinism broken"
+        );
     }
+
+    // Historical trajectory file, kept format-stable so perf PRs stay
+    // comparable across revisions.
+    let body = samples
+        .iter()
+        .chain(sweep.iter().map(|(_, s, _, _)| s))
+        .map(json_field)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n{body}\n}}\n");
+    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
+    println!("\nwrote BENCH_simspeed.json");
 
     // The same numbers in the unified shrimp.metrics.v1 schema. Note the
     // workloads run with telemetry off (the default): this benchmark
@@ -383,13 +496,15 @@ fn main() {
         reg.set_gauge(format!("{p}.events_per_sec"), s.events_per_sec());
         reg.set_counter(format!("{p}.sim_bytes"), s.sim_bytes);
         reg.set_gauge(format!("{p}.sim_bytes_per_sec"), s.sim_bytes_per_sec());
+        reg.set_gauge(format!("{p}.allocs_per_event"), s.allocs_per_event());
     }
-    for (w, s, batches) in &sweep {
-        let p = format!("simspeed.scaling.workers{w}");
+    for (w, s, batches, _) in &sweep {
+        let p = format!("simspeed.scaling1k.workers{w}");
         reg.set_gauge(format!("{p}.wall_seconds"), s.wall_seconds);
         reg.set_counter(format!("{p}.events"), s.events);
         reg.set_gauge(format!("{p}.events_per_sec"), s.events_per_sec());
         reg.set_counter(format!("{p}.batches"), *batches);
+        reg.set_gauge(format!("{p}.allocs_per_event"), s.allocs_per_event());
     }
     write_metrics("simspeed", &reg.snapshot());
 }

@@ -93,6 +93,18 @@ impl MachineConfig {
         MachineConfig::prototype(MeshShape::new(2, 1))
     }
 
+    /// The parallel engine's static lookahead bound: the minimum
+    /// latency of any cross-node effect. A node executing at time `t`
+    /// cannot influence another node before `t + lookahead()` — mesh
+    /// packets pay at least one router hop
+    /// ([`MeshConfig::min_cross_node_latency`]) and kernel-to-kernel
+    /// control messages pay [`MachineConfig::kernel_msg_latency`] — so
+    /// events of different nodes inside one such window are
+    /// independent and may run concurrently (DESIGN.md §5e).
+    pub fn lookahead(&self) -> SimDuration {
+        std::cmp::min(self.mesh.min_cross_node_latency(), self.kernel_msg_latency)
+    }
+
     /// Validates all sub-configurations.
     ///
     /// # Panics

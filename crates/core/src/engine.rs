@@ -1,55 +1,202 @@
 //! The conservative parallel execution core.
 //!
-//! SHRIMP nodes influence each other only through the mesh (at least one
-//! link latency away) and kernel messages (a configured latency away),
-//! so two *node-local* events at the same instant on *different* nodes
-//! are causally independent — the classic Chandy–Misra conservative
-//! lookahead, clamped to a single instant because a node may reschedule
-//! itself at zero delay (see DESIGN.md §5d for the full argument).
+//! SHRIMP nodes influence each other only through the mesh (at least
+//! one router hop away) and kernel messages (a configured latency
+//! away), so the machine has a *static lookahead bound*
+//! `L = min(hop latency, kernel message latency)`
+//! ([`MachineConfig::lookahead`]): an event executing at time `t`
+//! cannot affect any other node before `t + L`. All node-local events
+//! of one node inside a window `[t, t + L)` therefore depend only on
+//! that node's own state, and different nodes' windows are causally
+//! independent — classic null-message-free Chandy–Misra lookahead (the
+//! full safety argument is DESIGN.md §5e).
 //!
-//! [`WorkerPool`] keeps `workers` threads alive for the machine's
-//! lifetime. The machine forms a batch of same-instant events on
-//! pairwise-distinct nodes, ships each `(node, event)` to a worker, and
-//! every worker runs [`Node::execute`][crate::node::Node] — which
-//! mutates only its own node and records consequences in a
-//! `NodeEffects` action list. The machine then applies those lists *in
-//! the order the events were popped*, so the event queue evolves exactly
-//! as the sequential engine's would: results are bit-identical for any
-//! worker count.
+//! [`execute_window`] runs one node's slice of a window: it consumes
+//! the drained queue entries in `(time, seq)` order, interleaving
+//! self-generated in-window `CpuStep` children (a CPU burning through
+//! its quantum never touches the scheduler), and records every
+//! consequence as an ordered [`Action`] list with parent→child
+//! linkage. The machine then *replays* all nodes' records in the exact
+//! global `(time, seq)` order the sequential engine would have popped
+//! them, so queue evolution, logs, and counters are bit-identical for
+//! any worker count. A window closes early for a node at any event
+//! whose commit-time effects could feed back into node state — a
+//! fault, a kernel message (it may arm a §4.4 invalidation), or a
+//! self-scheduled mesh-coupled wakeup inside the window — and the
+//! node's unexecuted entries return to the queue under their original
+//! sequence numbers.
 //!
-//! Soundness of the `*mut Node` sends: batch nodes are pairwise
-//! distinct (disjoint `&mut` regions of one `Vec<Node>`), and the
-//! coordinator blocks until every result has been received before it
-//! touches any node again.
+//! [`WorkerPool`] keeps `workers - 1` threads alive for the machine's
+//! lifetime; the coordinator executes the first node slice itself, so
+//! single-participant windows never pay a thread round-trip.
+//!
+//! Soundness of the `*mut Node` sends: window participants are
+//! pairwise-distinct nodes (disjoint `&mut` regions of one
+//! `Vec<Node>`), and the coordinator blocks until every result has
+//! been received before it touches any node again.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use shrimp_sim::SimTime;
 
 use crate::config::MachineConfig;
-use crate::node::{Node, NodeEffects, NodeEvent};
+use crate::node::{Action, Node, NodeEffects, NodeEvent};
+
+/// A queue entry drained into a window: `(time, seq, event)`.
+pub(crate) type WindowEntry = (SimTime, u64, NodeEvent);
+
+/// One executed event inside a window.
+#[derive(Debug)]
+pub(crate) struct ExecRec {
+    /// When it ran.
+    pub time: SimTime,
+    /// Original queue sequence number (roots only; generated children
+    /// are ordered by commit-assigned virtual sequence numbers).
+    pub seq: u64,
+    /// Whether this record came off the queue (a merge seed) rather
+    /// than being generated inside the window.
+    pub root: bool,
+    /// `true` for a §4.4 kernel message (the commit refreshes the
+    /// node's armed-invalidation count after replaying it).
+    pub kernel_msg: bool,
+    /// Range of this record's actions in [`NodeWindowOutcome::actions`].
+    pub act_start: u32,
+    /// Number of actions.
+    pub act_len: u32,
+}
+
+/// Everything one node did during a window, in a replayable form.
+#[derive(Debug, Default)]
+pub(crate) struct NodeWindowOutcome {
+    /// Executed events, in node-local execution order.
+    pub records: Vec<ExecRec>,
+    /// Flat action list; `Option` so the commit can consume actions in
+    /// global merge order.
+    pub actions: Vec<Option<Action>>,
+    /// Parallel to `actions`: the record index of the child this
+    /// `Action::Push` became when it was pre-executed inside the
+    /// window, or -1 when the push must hit the real queue.
+    pub child_of: Vec<i32>,
+    /// Drained entries the node did *not* execute (its window closed
+    /// early); re-queued under their original sequence numbers.
+    pub leftovers: Vec<WindowEntry>,
+}
+
+/// Executes one node's slice of a lookahead window `[entries[0].0,
+/// w_end)` and records the consequences (see the module docs).
+pub(crate) fn execute_window(
+    node: &mut Node,
+    config: &MachineConfig,
+    entries: Vec<WindowEntry>,
+    w_end: SimTime,
+) -> NodeWindowOutcome {
+    let own = node.id.0;
+    let mut out = NodeWindowOutcome::default();
+    let mut entries: VecDeque<WindowEntry> = entries.into();
+    // Self-generated in-window events, keyed (time, birth order). Ties
+    // against queue entries go to the queue entry: its real sequence
+    // number is smaller than any sequence the commit will assign to a
+    // generated child.
+    let mut gen: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+    let mut gen_payload: Vec<Option<(NodeEvent, u32)>> = Vec::new();
+    let mut fx = NodeEffects::default();
+    loop {
+        let take_gen = match (entries.front(), gen.peek()) {
+            (Some(&(pt, _, _)), Some(&Reverse((gt, _)))) => gt < pt,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => break,
+        };
+        let (t, seq, ev, from_action) = if take_gen {
+            let Reverse((gt, id)) = gen.pop().expect("peeked entry");
+            let (ev, act) = gen_payload[id as usize].take().expect("queued once");
+            (gt, 0, ev, Some(act))
+        } else {
+            let (t, seq, ev) = entries.pop_front().expect("peeked entry");
+            (t, seq, ev, None)
+        };
+        let kernel_msg = matches!(ev, NodeEvent::KernelMsg { .. });
+        debug_assert!(ev.is_node_local(), "window entries are node-local");
+        node.execute(t, ev, config, &mut fx);
+        let rec_idx = out.records.len() as i32;
+        if let Some(act) = from_action {
+            out.child_of[act as usize] = rec_idx;
+        }
+        let act_start = out.actions.len() as u32;
+        let mut barrier = kernel_msg;
+        for action in fx.actions.drain(..) {
+            let act_idx = out.actions.len() as u32;
+            if let Action::Push { at, node: dst, ev } = &action {
+                if *dst == own && !ev.is_node_local() && *at < w_end {
+                    // A mesh-coupled wakeup due inside the window: the
+                    // machine must run it (it touches the mesh) before
+                    // any later event of this node.
+                    barrier = true;
+                }
+                if *dst == own
+                    && *at < w_end
+                    && !barrier
+                    && matches!(ev, NodeEvent::CpuStep)
+                {
+                    gen.push(Reverse((*at, gen_payload.len() as u64)));
+                    gen_payload.push(Some((ev.clone(), act_idx)));
+                }
+            }
+            if matches!(action, Action::Fault { .. }) {
+                // Fault service is machine-level (it may kill the
+                // process and reschedule); nothing of this node may run
+                // until the commit has replayed it.
+                barrier = true;
+            }
+            out.actions.push(Some(action));
+            out.child_of.push(-1);
+        }
+        out.records.push(ExecRec {
+            time: t,
+            seq,
+            root: from_action.is_none(),
+            kernel_msg,
+            act_start,
+            act_len: out.actions.len() as u32 - act_start,
+        });
+        if barrier {
+            // Un-mirror children queued by this very record: a barrier
+            // record's pushes all become real queue pushes.
+            for i in act_start as usize..out.actions.len() {
+                out.child_of[i] = -1;
+            }
+            break;
+        }
+    }
+    out.leftovers.extend(entries);
+    out
+}
 
 /// A raw node pointer that may cross a thread boundary for the duration
-/// of one batch (see the module docs for the aliasing argument).
+/// of one window (see the module docs for the aliasing argument).
 struct SendPtr(*mut Node);
 
 // SAFETY: the coordinator hands each worker a pointer to a distinct
-// element of its `Vec<Node>` and joins the batch (receives all results)
-// before touching the nodes again, so no two threads ever alias a node.
+// element of its `Vec<Node>` and joins the window (receives all
+// results) before touching the nodes again, so no two threads ever
+// alias a node.
 unsafe impl Send for SendPtr {}
 
 struct Job {
     slot: usize,
     node: SendPtr,
-    t: SimTime,
-    ev: NodeEvent,
+    entries: Vec<WindowEntry>,
+    w_end: SimTime,
 }
 
-/// A persistent pool of node-execution workers.
+/// A persistent pool of window-execution workers (`workers - 1`
+/// threads; the coordinator runs one slice itself).
 pub(crate) struct WorkerPool {
     senders: Vec<Sender<Job>>,
-    results: Receiver<(usize, NodeEffects)>,
+    results: Receiver<(usize, NodeWindowOutcome)>,
     handles: Vec<JoinHandle<()>>,
     next: usize,
 }
@@ -57,31 +204,31 @@ pub(crate) struct WorkerPool {
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.senders.len())
+            .field("workers", &(self.senders.len() + 1))
             .finish()
     }
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads, each holding its own copy of the
+    /// Spawns `workers - 1` threads, each holding its own copy of the
     /// machine configuration.
     pub(crate) fn new(workers: usize, config: MachineConfig) -> Self {
-        let (result_tx, results) = channel::<(usize, NodeEffects)>();
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
+        let spawned = workers.saturating_sub(1);
+        let (result_tx, results) = channel::<(usize, NodeWindowOutcome)>();
+        let mut senders = Vec::with_capacity(spawned);
+        let mut handles = Vec::with_capacity(spawned);
+        for i in 0..spawned {
             let (tx, rx) = channel::<Job>();
             let out = result_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("shrimp-worker-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        let mut fx = NodeEffects::default();
                         // SAFETY: per the pool contract the pointer is
                         // valid and unaliased until the result is sent.
                         let node = unsafe { &mut *job.node.0 };
-                        node.execute(job.t, job.ev, &config, &mut fx);
-                        if out.send((job.slot, fx)).is_err() {
+                        let oc = execute_window(node, &config, job.entries, job.w_end);
+                        if out.send((job.slot, oc)).is_err() {
                             break;
                         }
                     }
@@ -98,27 +245,33 @@ impl WorkerPool {
         }
     }
 
-    /// Ships one batch member to a worker (round-robin).
+    /// Ships one window participant to a worker thread (round-robin).
     ///
     /// # Safety
     ///
-    /// `node` must stay valid and unaliased until the matching result is
-    /// received via [`WorkerPool::recv`].
-    pub(crate) unsafe fn submit(&mut self, slot: usize, node: *mut Node, t: SimTime, ev: NodeEvent) {
+    /// `node` must stay valid and unaliased until the matching result
+    /// is received via [`WorkerPool::recv`].
+    pub(crate) unsafe fn submit(
+        &mut self,
+        slot: usize,
+        node: *mut Node,
+        entries: Vec<WindowEntry>,
+        w_end: SimTime,
+    ) {
         let w = self.next % self.senders.len();
         self.next = self.next.wrapping_add(1);
         self.senders[w]
             .send(Job {
                 slot,
                 node: SendPtr(node),
-                t,
-                ev,
+                entries,
+                w_end,
             })
             .expect("worker thread alive");
     }
 
-    /// Receives one completed batch member.
-    pub(crate) fn recv(&self) -> (usize, NodeEffects) {
+    /// Receives one completed window participant.
+    pub(crate) fn recv(&self) -> (usize, NodeWindowOutcome) {
         self.results.recv().expect("worker thread alive")
     }
 }
@@ -142,20 +295,40 @@ mod tests {
     fn pool_executes_on_distinct_nodes_and_joins() {
         let config = MachineConfig::two_nodes();
         let mut nodes: Vec<Node> = (0..2).map(|i| Node::new(NodeId(i), &config)).collect();
-        let mut pool = WorkerPool::new(2, config);
+        let mut pool = WorkerPool::new(3, config);
         let base = nodes.as_mut_ptr();
         for slot in 0..2 {
+            let entries = vec![(SimTime::ZERO, slot as u64, NodeEvent::CpuStep)];
             // SAFETY: distinct elements; joined below before reuse.
-            unsafe { pool.submit(slot, base.add(slot), SimTime::ZERO, NodeEvent::CpuStep) };
+            unsafe { pool.submit(slot, base.add(slot), entries, SimTime::from_picos(100)) };
         }
         let mut seen = [false; 2];
         for _ in 0..2 {
-            let (slot, fx) = pool.recv();
+            let (slot, oc) = pool.recv();
             seen[slot] = true;
             // An idle node's CpuStep is a no-op with no effects.
-            assert!(fx.actions.is_empty());
+            assert_eq!(oc.records.len(), 1);
+            assert!(oc.actions.is_empty());
+            assert!(oc.leftovers.is_empty());
         }
         assert!(seen.iter().all(|&s| s));
         drop(pool); // joins cleanly
+    }
+
+    #[test]
+    fn window_executor_runs_entries_in_order_and_links_children() {
+        let config = MachineConfig::two_nodes();
+        let mut node = Node::new(NodeId(0), &config);
+        let entries = vec![
+            (SimTime::ZERO, 0, NodeEvent::CpuStep),
+            (SimTime::from_picos(50), 1, NodeEvent::CpuStep),
+        ];
+        let oc = execute_window(&mut node, &config, entries, SimTime::from_picos(100));
+        assert_eq!(oc.records.len(), 2);
+        assert!(oc.records.iter().all(|r| r.root));
+        assert_eq!(oc.records[0].time, SimTime::ZERO);
+        assert_eq!(oc.records[1].time, SimTime::from_picos(50));
+        assert!(oc.leftovers.is_empty());
+        assert_eq!(oc.actions.len(), oc.child_of.len());
     }
 }

@@ -33,7 +33,7 @@ use shrimp_sim::{
 };
 
 use crate::config::MachineConfig;
-use crate::engine::WorkerPool;
+use crate::engine::{execute_window, NodeWindowOutcome, WindowEntry, WorkerPool};
 use crate::error::MachineError;
 use crate::node::{Action, Node, NodeEffects, NodeEvent};
 
@@ -161,6 +161,11 @@ impl MachineTelemetry {
     }
 }
 
+/// Bucket width of the per-node calendar queues: 1 ns clusters the
+/// ns-scale CPU/NIC event populations a few per bucket; µs-scale kernel
+/// timers overflow to the far heap, which is tiny per node.
+const WINDOW_BUCKET_WIDTH_PS: u64 = 1_000;
+
 /// A scheduled machine event: which node, and what it should do. The
 /// per-node behaviour lives in [`NodeEvent`]; this type only exists as
 /// the machine scheduler's event payload (it is public because it leaks
@@ -228,18 +233,28 @@ pub struct Machine {
     /// Worker threads for the parallel engine (`None` when
     /// `config.workers == 1`: the classic sequential loop).
     pool: Option<WorkerPool>,
-    /// Sticky opt-out of batching: the §4.4 pageout/reestablish
-    /// protocol mutates *other* nodes instantaneously, which breaks the
-    /// same-instant independence argument, so the first `begin_pageout`
-    /// call pins the machine to inline execution.
-    serial_fallback: bool,
+    /// Per-node count of §4.4 invalidations armed and awaiting a write
+    /// fault (mirrors `Kernel::armed_invalidations`); while any is
+    /// non-zero the reestablish path may mutate a *remote* node with
+    /// zero delay, so no lookahead window may open (DESIGN.md §5e).
+    armed: Vec<usize>,
+    /// Sum of `armed` — the window gate reads only this.
+    armed_total: usize,
+    /// Whether the current run wrapper permits lookahead windows
+    /// (`run_until_pred` forbids them so the predicate keeps observing
+    /// every inter-instant state).
+    window_enabled: bool,
+    /// The active run bound: windows never execute events past it.
+    window_limit: Option<SimTime>,
     /// Reused effect buffers for the sequential hot path (zero
     /// steady-state allocation).
     scratch_fx: NodeEffects,
     scratch_wakeups: NodeEffects,
-    /// Per-node "already in this batch" flags, reused across batches.
-    claimed: Vec<bool>,
-    /// Batches shipped to the worker pool (0 in sequential mode).
+    /// Per-node window slot (-1 = not participating), reused across
+    /// windows.
+    slot_of: Vec<i32>,
+    /// Lookahead windows shipped to the worker pool (0 in sequential
+    /// mode).
     batches_run: u64,
 }
 
@@ -260,15 +275,17 @@ impl Machine {
             None => Tracer::disabled(),
         };
         let pool = (config.workers > 1).then(|| WorkerPool::new(config.workers, config));
-        let claimed = vec![false; nodes.len()];
+        let slot_of = vec![-1; nodes.len()];
+        let armed = vec![0; nodes.len()];
         let node_events = vec![0; nodes.len()];
         Machine {
             config,
             nodes,
             mesh,
-            // Steady-state event volume scales with node count; a
-            // generous initial capacity avoids heap churn mid-run.
-            sched: Scheduler::with_capacity(256 * shape.nodes().max(1) as usize),
+            // One calendar queue per node (machine-level pushes route to
+            // the target node's shard); pop order is identical to the
+            // old global binary heap.
+            sched: Scheduler::sharded(shape.nodes().max(1) as usize, WINDOW_BUCKET_WIDTH_PS),
             registrations: Vec::new(),
             next_mapping: 1,
             interrupt_log: Vec::new(),
@@ -279,10 +296,13 @@ impl Machine {
             tracer,
             telemetry: MachineTelemetry::default(),
             pool,
-            serial_fallback: false,
+            armed,
+            armed_total: 0,
+            window_enabled: false,
+            window_limit: None,
             scratch_fx: NodeEffects::default(),
             scratch_wakeups: NodeEffects::default(),
-            claimed,
+            slot_of,
             batches_run: 0,
         }
     }
@@ -539,6 +559,8 @@ impl Machine {
             pos_b += chunk;
         }
         self.flush_tlb(req.src_node);
+        // remove_outgoing may have dropped armed invalidations.
+        self.refresh_armed(req.src_node);
 
         dst_frames.sort_unstable();
         dst_frames.dedup();
@@ -651,13 +673,7 @@ impl Machine {
         let n = self.node_mut(node);
         n.sched.add(pid);
         let at = now.max(n.cpu_busy_until);
-        self.sched.push(
-            at,
-            Event {
-                node: node.0,
-                ev: NodeEvent::CpuStep,
-            },
-        );
+        self.push_event(at, node.0, NodeEvent::CpuStep);
     }
 
     /// True when every loaded CPU has halted.
@@ -749,20 +765,14 @@ impl Machine {
     /// already in progress).
     pub fn begin_pageout(&mut self, node: NodeId, frame: PageNum) -> Result<(), MachineError> {
         let msgs = self.node_mut(node).kernel.begin_pageout(frame)?;
-        // The reestablish path this protocol arms mutates the
-        // destination node's kernel with zero delay, so same-instant
-        // node independence no longer holds: pin to inline execution.
-        self.serial_fallback = true;
+        // No sticky serial fallback: the invalidations this protocol
+        // arms are tracked per node (`armed`), and the window gate
+        // refuses to open while any are outstanding, so the §4.4
+        // reestablish path only ever runs between windows.
         let latency = self.config.kernel_msg_latency;
         let at = self.now() + latency;
         for (dst, msg) in msgs {
-            self.sched.push(
-                at,
-                Event {
-                    node: dst.0,
-                    ev: NodeEvent::KernelMsg { msg },
-                },
-            );
+            self.push_event(at, dst.0, NodeEvent::KernelMsg { msg });
         }
         Ok(())
     }
@@ -790,8 +800,12 @@ impl Machine {
     /// Runs until `limit`, processing machine and mesh events in time
     /// order.
     pub fn run_until(&mut self, limit: SimTime) {
+        self.window_enabled = true;
+        self.window_limit = Some(limit);
         let bound = StepBound::until(limit);
         while step(self, bound) == StepOutcome::Ran {}
+        self.window_enabled = false;
+        self.window_limit = None;
         self.sched.advance_clock(limit);
     }
 
@@ -812,14 +826,20 @@ impl Machine {
     /// generating events (e.g. a CPU is spin-waiting forever).
     pub fn run_until_idle(&mut self) -> Result<(), MachineError> {
         const MAX_IDLE_STEPS: u64 = 50_000_000;
+        self.window_enabled = true;
+        self.window_limit = None;
         let mut steps = 0u64;
         loop {
             steps += 1;
             if steps > MAX_IDLE_STEPS {
+                self.window_enabled = false;
                 return Err(MachineError::NoQuiescence);
             }
             match step(self, StepBound::unbounded()) {
-                StepOutcome::Idle => return Ok(()),
+                StepOutcome::Idle => {
+                    self.window_enabled = false;
+                    return Ok(());
+                }
                 StepOutcome::Ran => {}
                 StepOutcome::PastLimit => unreachable!("unbounded step has no limit"),
             }
@@ -831,6 +851,10 @@ impl Machine {
     /// splits an instant, so the predicate always observes a consistent
     /// inter-instant state.)
     pub fn run_until_pred(&mut self, limit: SimTime, mut pred: impl FnMut(&Machine) -> bool) -> bool {
+        // Windows stay off: a window executes a whole `[t, t+L)` span
+        // between predicate checks, which would let the run overshoot
+        // the state the predicate is waiting for.
+        self.window_enabled = false;
         let bound = StepBound::until(limit);
         loop {
             if pred(self) {
@@ -846,92 +870,194 @@ impl Machine {
 
     // ──────────────────────── event dispatching ──────────────────────────
 
-    /// Routes one popped event: batched across workers when the
+    /// Schedules a machine event on its target node's queue shard.
+    fn push_event(&mut self, at: SimTime, node: u16, ev: NodeEvent) {
+        self.sched.push_shard(node as u32, at, Event { node, ev });
+    }
+
+    /// Re-reads one node's armed-invalidation count after anything that
+    /// may have changed it (a §4.4 kernel message, a serviced write
+    /// fault, an unmap).
+    fn refresh_armed(&mut self, node: NodeId) {
+        let now = self.nodes[node.0 as usize].kernel.armed_invalidations();
+        let slot = &mut self.armed[node.0 as usize];
+        self.armed_total = self.armed_total + now - *slot;
+        *slot = now;
+    }
+
+    /// Routes one popped event: through a lookahead window when the
     /// parallel engine applies, inline otherwise.
     fn dispatch_event(&mut self, t: SimTime, ev: Event) {
-        self.node_events[ev.node as usize] += 1;
-        // A batch is sound only for node-local events at one instant on
-        // pairwise-distinct nodes, with no mesh activity at that
-        // instant and no pageout protocol in flight (see DESIGN.md §5d).
-        // A leading DmaComplete can't batch: its network pump must run
-        // before the next event.
+        // A window is sound only when no §4.4 invalidation is armed
+        // anywhere (an armed node's write fault reaches across nodes
+        // with zero delay) and the lead event is windowable: CpuStep and
+        // KernelMsg touch only their own node, while DmaComplete pumps
+        // the whole network and the wakeup events touch the mesh
+        // (DESIGN.md §5e).
         if self.pool.is_some()
-            && !self.serial_fallback
-            && ev.ev.is_node_local()
-            && !matches!(ev.ev, NodeEvent::DmaComplete { .. })
-            && Component::next_event_time(&self.mesh).is_none_or(|mt| mt > t)
-            && self.peek_batchable(t, ev.node)
+            && self.window_enabled
+            && self.armed_total == 0
+            && matches!(ev.ev, NodeEvent::CpuStep | NodeEvent::KernelMsg { .. })
         {
-            self.run_batch(t, ev);
-        } else {
-            self.execute_inline(t, ev.node, ev.ev);
+            if let Some(w_end) = self.window_end(t) {
+                self.run_window(t, ev, w_end);
+                return;
+            }
         }
+        self.node_events[ev.node as usize] += 1;
+        self.execute_inline(t, ev.node, ev.ev);
     }
 
-    /// Whether the next queued event can join a batch led by an event
-    /// on `first_node` at instant `t`.
-    fn peek_batchable(&self, t: SimTime, first_node: u16) -> bool {
-        match self.sched.peek() {
-            Some((pt, e)) => pt == t && e.ev.is_node_local() && e.node != first_node,
-            None => false,
+    /// The exclusive end of a lookahead window opening at `t`: the
+    /// static bound `t + L`, clamped to the next mesh event (the mesh
+    /// must advance before anything at or after it) and the run bound.
+    /// `None` when the window would be empty.
+    fn window_end(&self, t: SimTime) -> Option<SimTime> {
+        let mut w = t + self.config.lookahead();
+        if let Some(mt) = Component::next_event_time(&self.mesh) {
+            w = w.min(mt);
         }
+        if let Some(limit) = self.window_limit {
+            // Events *at* the limit may still run.
+            w = w.min(limit + SimDuration::from_picos(1));
+        }
+        (w > t).then_some(w)
     }
 
-    /// Forms the largest sound batch starting from `first`, executes its
-    /// members on the worker pool, and applies their effects in pop
-    /// order — which makes the result bit-identical to sequential
-    /// execution (the whole argument is in DESIGN.md §5d).
-    fn run_batch(&mut self, t: SimTime, first: Event) {
+    /// Runs one lookahead window `[t, w_end)`: drains every windowable
+    /// event in the span, fans the participating nodes out across the
+    /// worker pool, then replays all recorded consequences in exact
+    /// global `(time, seq)` order so the machine state, queue and logs
+    /// evolve byte-identically to sequential execution (DESIGN.md §5e).
+    fn run_window(&mut self, t: SimTime, first: Event, w_end: SimTime) {
         self.batches_run += 1;
-        for c in self.claimed.iter_mut() {
-            *c = false;
-        }
-        self.claimed[first.node as usize] = true;
-        let mut batch = vec![first];
-        loop {
-            let admit = matches!(
-                self.sched.peek(),
-                Some((pt, e)) if pt == t && e.ev.is_node_local() && !self.claimed[e.node as usize]
-            );
-            if !admit {
-                break;
-            }
-            let (_, e) = self.sched.pop().expect("peeked event");
-            self.node_events[e.node as usize] += 1;
-            self.claimed[e.node as usize] = true;
-            let is_dma = matches!(e.ev, NodeEvent::DmaComplete { .. });
-            batch.push(e);
-            if is_dma {
-                // Applying a DmaComplete pumps the whole network, so
-                // nothing may execute after it within the batch.
-                break;
+        let first_seq = self.sched.last_popped_seq();
+
+        // ── Formation: group drained events per node, drain order. ──
+        let mut tasks: Vec<(u16, Vec<WindowEntry>)> = Vec::new();
+        self.slot_of[first.node as usize] = 0;
+        tasks.push((first.node, vec![(t, first_seq, first.ev)]));
+        for (time, seq, _, e) in self
+            .sched
+            .drain_window(w_end, |e| {
+                matches!(e.ev, NodeEvent::CpuStep | NodeEvent::KernelMsg { .. })
+            })
+        {
+            let slot = self.slot_of[e.node as usize];
+            if slot >= 0 {
+                tasks[slot as usize].1.push((time, seq, e.ev));
+            } else {
+                self.slot_of[e.node as usize] = tasks.len() as i32;
+                tasks.push((e.node, vec![(time, seq, e.ev)]));
             }
         }
-
-        // Worker phase: every member executes on its own node, in
-        // parallel. Effects are collected per slot.
-        let n = batch.len();
-        let mut results: Vec<Option<NodeEffects>> = (0..n).map(|_| None).collect();
-        let mut order = Vec::with_capacity(n);
-        let pool = self.pool.as_mut().expect("checked by dispatch_event");
-        let base = self.nodes.as_mut_ptr();
-        for (slot, e) in batch.into_iter().enumerate() {
-            order.push(e.node);
-            // SAFETY: batch nodes are pairwise distinct (`claimed`), the
-            // Vec is not resized while jobs are in flight, and all
-            // results are received below before the nodes are touched.
-            unsafe { pool.submit(slot, base.add(e.node as usize), t, e.ev) };
-        }
-        for _ in 0..n {
-            let (slot, fx) = pool.recv();
-            results[slot] = Some(fx);
+        for &(node, _) in &tasks {
+            self.slot_of[node as usize] = -1;
         }
 
-        // Commit phase: apply effect lists in pop order, sequentially.
-        for (slot, node) in order.into_iter().enumerate() {
-            let mut fx = results[slot].take().expect("one result per member");
-            self.apply_effects(t, NodeId(node), &mut fx);
+        // ── Execution: ship slots 1.. to workers, run slot 0 here. ──
+        let n = tasks.len();
+        let mut outcomes: Vec<Option<NodeWindowOutcome>> = (0..n).map(|_| None).collect();
+        let mut owners: Vec<u16> = Vec::with_capacity(n);
+        {
+            let base = self.nodes.as_mut_ptr();
+            let pool = self.pool.as_mut().expect("checked by dispatch_event");
+            let mut it = tasks.into_iter();
+            let (first_node, first_entries) = it.next().expect("window has a lead");
+            owners.push(first_node);
+            for (slot, (node, entries)) in it.enumerate() {
+                owners.push(node);
+                // SAFETY: window nodes are pairwise distinct
+                // (`slot_of`), the Vec is not resized while jobs are in
+                // flight, and all results are received below before the
+                // nodes are touched.
+                unsafe { pool.submit(slot + 1, base.add(node as usize), entries, w_end) };
+            }
+            outcomes[0] = Some(execute_window(
+                &mut self.nodes[first_node as usize],
+                &self.config,
+                first_entries,
+                w_end,
+            ));
+            let pool = self.pool.as_ref().expect("checked above");
+            for _ in 1..n {
+                let (slot, oc) = pool.recv();
+                outcomes[slot] = Some(oc);
+            }
         }
+        let mut outcomes: Vec<NodeWindowOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("one outcome per slot"))
+            .collect();
+
+        // ── Commit: replay in global (time, seq) order. ──
+        // Unexecuted drained entries go back under their original
+        // sequence numbers first, so the queue is whole before any
+        // effect lands on it.
+        for (slot, oc) in outcomes.iter_mut().enumerate() {
+            let node = owners[slot];
+            for (time, seq, ev) in oc.leftovers.drain(..) {
+                self.sched.push_with_seq(node as u32, time, seq, Event { node, ev });
+            }
+        }
+        // Merge heap over (time, seq, slot, record): roots carry their
+        // real queue seqs; children enter when their parent is replayed,
+        // under fresh virtual seqs above every real one — exactly the
+        // order the sequential queue would have popped them.
+        let mut merge: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32, u32)>> =
+            std::collections::BinaryHeap::new();
+        for (slot, oc) in outcomes.iter().enumerate() {
+            for (i, rec) in oc.records.iter().enumerate() {
+                if rec.root {
+                    merge.push(std::cmp::Reverse((rec.time, rec.seq, slot as u32, i as u32)));
+                }
+            }
+        }
+        let mut vseq = self.sched.seq_watermark();
+        let mut executed = 0u64;
+        let mut max_t = t;
+        while let Some(std::cmp::Reverse((time, _, slot, rec_idx))) = merge.pop() {
+            executed += 1;
+            max_t = max_t.max(time);
+            let node = owners[slot as usize];
+            self.node_events[node as usize] += 1;
+            let (start, len, kernel_msg) = {
+                let rec = &outcomes[slot as usize].records[rec_idx as usize];
+                (rec.act_start as usize, rec.act_len as usize, rec.kernel_msg)
+            };
+            for i in start..start + len {
+                let (action, child) = {
+                    let oc = &mut outcomes[slot as usize];
+                    (oc.actions[i].take().expect("each action replays once"), oc.child_of[i])
+                };
+                match action {
+                    Action::Push { at, node: dst, ev } => {
+                        if child >= 0 {
+                            // Pre-executed inside the window: enters the
+                            // replay order instead of the real queue.
+                            let ct = outcomes[slot as usize].records[child as usize].time;
+                            merge.push(std::cmp::Reverse((ct, vseq, slot, child as u32)));
+                            vseq += 1;
+                        } else {
+                            self.push_event(at, dst, ev);
+                        }
+                    }
+                    Action::Syscall { pid, code } => {
+                        self.syscall_log.push((time, NodeId(node), pid, code));
+                    }
+                    Action::Fault { pid, error } => {
+                        self.handle_fault(time, NodeId(node), pid, error);
+                    }
+                    Action::PumpNetwork => unreachable!("window events never pump the network"),
+                }
+            }
+            if kernel_msg {
+                self.refresh_armed(NodeId(node));
+            }
+        }
+        // The lead pop was already counted by the scheduler.
+        self.sched.note_processed(executed - 1);
+        self.sched.advance_clock(max_t);
     }
 
     /// Executes one event on the machine thread (the sequential path,
@@ -957,10 +1083,15 @@ impl Machine {
                 self.pop_incoming(t, NodeId(node));
             }
             local => {
+                let was_kernel_msg = matches!(local, NodeEvent::KernelMsg { .. });
                 let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.nodes[node as usize].execute(t, local, &self.config, &mut fx);
                 self.apply_effects(t, NodeId(node), &mut fx);
                 self.scratch_fx = fx;
+                if was_kernel_msg {
+                    // A §4.4 message may have armed an invalidation.
+                    self.refresh_armed(NodeId(node));
+                }
             }
         }
     }
@@ -969,7 +1100,7 @@ impl Machine {
     fn apply_effects(&mut self, t: SimTime, node: NodeId, fx: &mut NodeEffects) {
         for action in fx.actions.drain(..) {
             match action {
-                Action::Push { at, node, ev } => self.sched.push(at, Event { node, ev }),
+                Action::Push { at, node, ev } => self.push_event(at, node, ev),
                 Action::Syscall { pid, code } => self.syscall_log.push((t, node, pid, code)),
                 Action::Fault { pid, error } => self.handle_fault(t, node, pid, error),
                 Action::PumpNetwork => self.pump_network(t),
@@ -1109,14 +1240,12 @@ impl Machine {
                         len: delivery.data.len() as u64,
                         src: delivery.src,
                     });
-                    self.sched.push(
+                    self.push_event(
                         grant.end,
-                        Event {
-                            node: node.0,
-                            ev: NodeEvent::DmaComplete {
-                                addr: delivery.dst_addr,
-                                data: delivery.data,
-                            },
+                        node.0,
+                        NodeEvent::DmaComplete {
+                            addr: delivery.dst_addr,
+                            data: delivery.data,
                         },
                     );
                 }
@@ -1152,7 +1281,7 @@ impl Machine {
     fn apply_pushes(&mut self, fx: &mut NodeEffects) {
         for action in fx.actions.drain(..) {
             match action {
-                Action::Push { at, node, ev } => self.sched.push(at, Event { node, ev }),
+                Action::Push { at, node, ev } => self.push_event(at, node, ev),
                 other => unreachable!("wakeup scheduling only pushes events, got {other:?}"),
             }
         }
@@ -1166,6 +1295,10 @@ impl Machine {
                 // Re-establish the invalidated mapping (§4.4): re-run
                 // the receiver grant for the covered pages and rewrite
                 // the NIPT segments, then resume the faulting store.
+                // (This mutates the destination node with zero delay —
+                // sound only because the armed-invalidation gate keeps
+                // every lookahead window closed while a write fault can
+                // take this path.)
                 let ok = self.reestablish(node, pid, rec);
                 let cost = self.config.fault_cost
                     + self.config.kernel_msg_latency * 2
@@ -1174,14 +1307,9 @@ impl Machine {
                     let resume = t + cost;
                     let n = &mut self.nodes[node.0 as usize];
                     n.cpu_busy_until = resume;
-                    self.sched.push(
-                        resume,
-                        Event {
-                            node: node.0,
-                            ev: NodeEvent::CpuStep,
-                        },
-                    );
+                    self.push_event(resume, node.0, NodeEvent::CpuStep);
                     self.flush_tlb(node);
+                    self.refresh_armed(node);
                     return;
                 }
             }
@@ -1191,13 +1319,8 @@ impl Machine {
         n.sched.remove(pid);
         n.running = None;
         self.syscall_log.push((t, node, pid, u32::MAX));
-        self.sched.push(
-            t,
-            Event {
-                node: node.0,
-                ev: NodeEvent::CpuStep,
-            },
-        );
+        self.push_event(t, node.0, NodeEvent::CpuStep);
+        self.refresh_armed(node);
     }
 
     fn reestablish(&mut self, node: NodeId, pid: Pid, rec: OutgoingRecord) -> bool {

@@ -551,8 +551,11 @@ impl MemoryBus for NodeBusView<'_> {
             let xpress = &mut *self.xpress;
             let _ = self.nic.command_write(end, phys, value, |src, len| {
                 let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                let data = mem.read_bytes(src, len).unwrap_or_else(|_| vec![0; len as usize]);
-                (data, txn.grant.end)
+                // Fill a recycled arena buffer: no per-packet allocation
+                // on the deliberate-update hot path.
+                let mut buf = shrimp_nic::arena::take(len as usize);
+                let _ = mem.read_bytes_into(src, &mut buf);
+                (shrimp_nic::Payload::from(buf), txn.grant.end)
             });
             return Ok(end);
         }
@@ -605,10 +608,9 @@ impl MemoryBus for NodeBusView<'_> {
                 let xpress = &mut *self.xpress;
                 let _ = self.nic.command_write(end, phys, new, |src, len| {
                     let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                    let data = mem
-                        .read_bytes(src, len)
-                        .unwrap_or_else(|_| vec![0; len as usize]);
-                    (data, txn.grant.end)
+                    let mut buf = shrimp_nic::arena::take(len as usize);
+                    let _ = mem.read_bytes_into(src, &mut buf);
+                    (shrimp_nic::Payload::from(buf), txn.grant.end)
                 });
             }
             return Ok((status, end));

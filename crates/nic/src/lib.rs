@@ -42,6 +42,7 @@
 //! # Ok::<(), shrimp_nic::NicError>(())
 //! ```
 
+pub mod arena;
 pub mod command;
 pub mod config;
 pub mod dma;
@@ -51,6 +52,7 @@ pub mod nic;
 pub mod nipt;
 pub mod packet;
 
+pub use arena::PoolBuf;
 pub use command::{CommandOp, CommandSpace};
 pub use config::{NicConfig, RetxConfig};
 pub use dma::{DmaEngine, DmaStatus};

@@ -262,7 +262,7 @@ struct PendingBlocked {
     dst_base: PhysAddr,
     src_page: PageNum,
     next_offset: u64,
-    data: Vec<u8>,
+    data: crate::arena::PoolBuf,
     last_write: SimTime,
 }
 
@@ -488,7 +488,7 @@ impl NetworkInterface {
                         .is_some_and(|p| p.dst_node == seg.dst_node)
                 {
                     let p = self.pending.as_mut().expect("mergeable implies pending");
-                    p.data.extend_from_slice(data);
+                    p.data.vec_mut().extend_from_slice(data);
                     p.next_offset += data.len() as u64;
                     p.last_write = now;
                     self.metrics.incr(self.ids.merged_writes);
@@ -500,7 +500,11 @@ impl NetworkInterface {
                         dst_base: seg.translate(addr.offset()),
                         src_page: addr.page(),
                         next_offset: addr.offset() + data.len() as u64,
-                        data: data.to_vec(),
+                        data: {
+                            let mut buf = crate::arena::take(0);
+                            buf.vec_mut().extend_from_slice(data);
+                            buf
+                        },
                         last_write: now,
                     });
                     SnoopOutcome::Merged
@@ -862,7 +866,9 @@ impl NetworkInterface {
     ///
     /// For a deliberate-update start the NIC needs to read the source
     /// region from main memory; `mem_read` performs that read over the
-    /// memory bus and returns the bytes plus the bus completion time.
+    /// memory bus and returns the payload plus the bus completion time.
+    /// Callers fill an [`arena`](crate::arena) buffer so the hot path
+    /// recycles allocations instead of growing the heap per packet.
     ///
     /// # Errors
     ///
@@ -878,7 +884,7 @@ impl NetworkInterface {
         now: SimTime,
         addr: PhysAddr,
         value: u32,
-        mem_read: impl FnOnce(PhysAddr, u64) -> (Vec<u8>, SimTime),
+        mem_read: impl FnOnce(PhysAddr, u64) -> (Payload, SimTime),
     ) -> Result<CommandEffect, NicError> {
         let data_addr = self
             .cmd_space
@@ -916,7 +922,7 @@ impl NetworkInterface {
         now: SimTime,
         src: PhysAddr,
         words: u32,
-        mem_read: impl FnOnce(PhysAddr, u64) -> (Vec<u8>, SimTime),
+        mem_read: impl FnOnce(PhysAddr, u64) -> (Payload, SimTime),
     ) -> Result<CommandEffect, NicError> {
         let len = words as u64 * WORD_SIZE;
         if src.offset() + len > shrimp_mem::PAGE_SIZE {
@@ -944,9 +950,10 @@ impl NetworkInterface {
         debug_assert!(started, "engine was idle");
         let dst = seg.translate(src.offset());
         self.metrics.incr(self.ids.dma_packets);
-        // One buffer from here on: the Vec read from memory becomes the
-        // refcounted payload shared by FIFO, mesh and delivery DMA.
-        self.queue_packet(done_at, seg.dst_node, dst, Payload::from(data));
+        // One buffer from here on: the pooled buffer read from memory is
+        // the refcounted payload shared by FIFO, mesh and delivery DMA,
+        // and returns to the arena when the last stage drops it.
+        self.queue_packet(done_at, seg.dst_node, dst, data);
         Ok(CommandEffect::DmaStarted { done_at })
     }
 
@@ -1407,7 +1414,7 @@ mod tests {
             .command_write(t(0), cmd_addr, 256, |src, len| {
                 assert_eq!(src, data_addr);
                 assert_eq!(len, 1024);
-                (vec![0x5a; 1024], t(500))
+                (Payload::from(vec![0x5a; 1024]), t(500))
             })
             .unwrap();
         let CommandEffect::DmaStarted { done_at } = effect else {

@@ -149,6 +149,9 @@ pub enum Payload {
     Inline { len: u8, buf: [u8; INLINE_PAYLOAD_MAX] },
     /// A refcounted slice of a shared buffer.
     Shared(Bytes),
+    /// A refcounted buffer from the [`arena`](crate::arena) pool; the
+    /// allocation is recycled when the last pipeline stage drops it.
+    Pooled(std::sync::Arc<crate::arena::PoolBuf>),
 }
 
 impl Payload {
@@ -171,6 +174,7 @@ impl Payload {
         match self {
             Payload::Inline { len, buf } => &buf[..*len as usize],
             Payload::Shared(b) => b,
+            Payload::Pooled(p) => p,
         }
     }
 
@@ -179,6 +183,7 @@ impl Payload {
         match self {
             Payload::Inline { len, .. } => *len as usize,
             Payload::Shared(b) => b.len(),
+            Payload::Pooled(p) => p.len(),
         }
     }
 
@@ -197,6 +202,26 @@ impl Payload {
                 v[byte] ^= mask;
                 *b = Bytes::from(v);
             }
+            Payload::Pooled(p) => {
+                // Fault injection only — copy, other holders keep the
+                // pristine buffer.
+                let mut copy = crate::arena::take(p.len());
+                copy.copy_from_slice(p);
+                copy[byte] ^= mask;
+                *self = Payload::Pooled(std::sync::Arc::new(copy));
+            }
+        }
+    }
+}
+
+impl From<crate::arena::PoolBuf> for Payload {
+    /// Wraps a pool buffer, inlining tiny payloads (the buffer returns
+    /// to the pool immediately in that case).
+    fn from(b: crate::arena::PoolBuf) -> Payload {
+        if b.len() <= INLINE_PAYLOAD_MAX {
+            Payload::copy_from_slice(&b)
+        } else {
+            Payload::Pooled(std::sync::Arc::new(b))
         }
     }
 }

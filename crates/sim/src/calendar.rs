@@ -1,0 +1,354 @@
+//! A two-level calendar (bucket) queue with exact `(time, seq)` ordering.
+//!
+//! The global [`EventQueue`](crate::EventQueue) binary heap pays
+//! `O(log n)` per operation over *all* pending events in the machine.
+//! Per-node event populations are tiny and strongly time-clustered, so
+//! the sharded scheduler keeps one [`CalendarQueue`] per node: a ring of
+//! near-future buckets (each an append-mostly deque, sorted lazily when
+//! it becomes the head bucket) plus a far-future overflow heap for
+//! events beyond the bucket horizon. Pushes into the head bucket keep it
+//! sorted by binary-search insertion; everything else is an append.
+//!
+//! Unlike a classic calendar queue, ordering is *exact*, never
+//! approximate: the pop order is the total order `(time, seq)` for any
+//! push/pop interleaving, which `tests/` pins against the binary-heap
+//! reference with a property test. Sequence numbers are assigned by the
+//! caller (the sharded scheduler owns one shared counter across shards)
+//! so FIFO ties behave exactly like the single global queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::SimTime;
+
+/// Number of near-future buckets. Events up to `NUM_BUCKETS ×
+/// bucket_width` past the current epoch live in the ring; later events
+/// overflow to the far heap and are re-bucketed when the ring drains.
+const NUM_BUCKETS: usize = 64;
+
+/// Default bucket width: 1 ns, a few CPU/NIC events per bucket under
+/// the prototype timing model.
+const DEFAULT_BUCKET_WIDTH_PS: u64 = 1_000;
+
+#[derive(Debug, Clone)]
+struct FarEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for FarEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for FarEntry<E> {}
+impl<E> PartialOrd for FarEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for FarEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so the earliest (time, seq) is at the top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One calendar bucket: ascending `(time, seq)` order when `sorted`,
+/// append-dirty otherwise.
+#[derive(Debug, Clone)]
+struct Bucket<E> {
+    items: VecDeque<(SimTime, u64, E)>,
+    sorted: bool,
+}
+
+impl<E> Bucket<E> {
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn settle(&mut self) {
+        if !self.sorted {
+            self.items
+                .make_contiguous()
+                .sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            self.sorted = true;
+        }
+    }
+
+    fn head(&self) -> Option<(SimTime, u64)> {
+        debug_assert!(self.sorted || self.is_empty());
+        self.items.front().map(|e| (e.0, e.1))
+    }
+}
+
+/// A time-ordered queue over `(time, seq, event)` triples with exact
+/// `(time, seq)` pop order.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{CalendarQueue, SimTime};
+///
+/// let mut q = CalendarQueue::new();
+/// q.push(SimTime::from_picos(10), 0, "b");
+/// q.push(SimTime::from_picos(10), 1, "c");
+/// q.push(SimTime::from_picos(5), 2, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Bucket<E>>,
+    /// Picosecond width of one bucket.
+    width: u64,
+    /// Picosecond time at which `buckets[0]` starts.
+    epoch: u64,
+    /// First possibly non-empty bucket; buckets before it are empty.
+    cursor: usize,
+    far: BinaryHeap<FarEntry<E>>,
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the default bucket geometry.
+    pub fn new() -> Self {
+        Self::with_bucket_width(DEFAULT_BUCKET_WIDTH_PS)
+    }
+
+    /// Creates an empty queue whose near ring covers
+    /// `NUM_BUCKETS × width_ps` picoseconds past the epoch.
+    pub fn with_bucket_width(width_ps: u64) -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        for _ in 0..NUM_BUCKETS {
+            buckets.push(Bucket {
+                items: VecDeque::new(),
+                sorted: true,
+            });
+        }
+        CalendarQueue {
+            buckets,
+            width: width_ps.max(1),
+            epoch: 0,
+            cursor: 0,
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn horizon(&self) -> u64 {
+        self.epoch.saturating_add(self.width * NUM_BUCKETS as u64)
+    }
+
+    /// The ring index for `t`, clamping past times into the head bucket
+    /// (a re-scheduled event in the past still pops first: the head
+    /// bucket is settled before its minimum is read).
+    fn bucket_index(&self, t: u64) -> usize {
+        let floor = self.epoch + self.cursor as u64 * self.width;
+        if t <= floor {
+            self.cursor
+        } else {
+            (((t - self.epoch) / self.width) as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Schedules `event` at `time` with the caller-assigned tie-break
+    /// sequence number.
+    pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        let t = time.as_picos();
+        if self.len == 0 {
+            // Empty queue: re-anchor the ring at this event.
+            self.epoch = t - (t % self.width);
+            self.cursor = 0;
+        }
+        self.len += 1;
+        if t >= self.horizon() {
+            self.far.push(FarEntry { time, seq, event });
+            return;
+        }
+        let idx = self.bucket_index(t);
+        let b = &mut self.buckets[idx];
+        match b.items.back() {
+            Some(last) if b.sorted && (last.0, last.1) > (time, seq) => {
+                if idx == self.cursor {
+                    // Keep the head bucket sorted: O(k) insert, k small.
+                    let pos = b
+                        .items
+                        .binary_search_by(|e| (e.0, e.1).cmp(&(time, seq)))
+                        .unwrap_or_else(|p| p);
+                    b.items.insert(pos, (time, seq, event));
+                } else {
+                    b.items.push_back((time, seq, event));
+                    b.sorted = false;
+                }
+            }
+            _ => b.items.push_back((time, seq, event)),
+        }
+    }
+
+    /// Advances `cursor` to the first non-empty bucket, refilling the
+    /// ring from the far heap when it drains, and settles the head
+    /// bucket. After this, the head bucket's front is the global
+    /// minimum.
+    fn advance_cursor(&mut self) {
+        loop {
+            while self.cursor < NUM_BUCKETS && self.buckets[self.cursor].is_empty() {
+                self.buckets[self.cursor].sorted = true;
+                self.cursor += 1;
+            }
+            if self.cursor < NUM_BUCKETS {
+                self.buckets[self.cursor].settle();
+                return;
+            }
+            // Near ring exhausted: re-seed from the far heap.
+            self.cursor = 0;
+            for b in &mut self.buckets {
+                b.sorted = true;
+            }
+            if let Some(min) = self.far.peek() {
+                let t = min.time.as_picos();
+                self.epoch = t - (t % self.width);
+                let horizon = self.horizon();
+                while self.far.peek().is_some_and(|e| e.time.as_picos() < horizon) {
+                    let e = self.far.pop().expect("peeked entry");
+                    let idx = (((e.time.as_picos() - self.epoch) / self.width) as usize)
+                        .min(NUM_BUCKETS - 1);
+                    let b = &mut self.buckets[idx];
+                    // The heap yields ascending (time, seq), so appends
+                    // keep each bucket sorted.
+                    b.items.push_back((e.time, e.seq, e.event));
+                }
+            } else {
+                return; // fully empty
+            }
+        }
+    }
+
+    /// The earliest `(time, seq)` without consuming it.
+    pub fn head(&mut self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_cursor();
+        self.buckets[self.cursor].head()
+    }
+
+    /// The earliest entry without consuming it.
+    pub fn peek(&mut self) -> Option<(SimTime, u64, &E)> {
+        self.head()?;
+        self.buckets[self.cursor]
+            .items
+            .front()
+            .map(|e| (e.0, e.1, &e.2))
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.head()?;
+        self.len -= 1;
+        self.buckets[self.cursor].items.pop_front()
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_picos(ps)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(30), 0, "c");
+        q.push(t(10), 1, "a");
+        q.push(t(10), 2, "b");
+        q.push(t(20), 3, "z");
+        assert_eq!(q.pop(), Some((t(10), 1, "a")));
+        assert_eq!(q.pop(), Some((t(10), 2, "b")));
+        assert_eq!(q.pop(), Some((t(20), 3, "z")));
+        assert_eq!(q.pop(), Some((t(30), 0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_overflow_round_trips() {
+        let mut q = CalendarQueue::with_bucket_width(10);
+        // Horizon = 640 ps: everything below goes near, the rest far.
+        for i in 0..200u64 {
+            q.push(t(i * 37 % 10_000), i, i);
+        }
+        let mut prev = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some((time, seq, _)) = q.pop() {
+            assert!((time, seq) >= prev, "out of order at {time:?}/{seq}");
+            prev = (time, seq);
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn past_time_push_pops_first() {
+        let mut q = CalendarQueue::with_bucket_width(10);
+        for i in 0..50u64 {
+            q.push(t(1_000 + i * 10), i, i);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        // Push an event earlier than everything remaining (a kill-path
+        // reschedule into the window's past).
+        q.push(t(0), 999, 999);
+        assert_eq!(q.pop().map(|e| e.2), Some(999));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_exact_order() {
+        let mut q = CalendarQueue::with_bucket_width(100);
+        let mut reference = std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |q: &mut CalendarQueue<u64>,
+                        reference: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+                        time: u64| {
+            q.push(t(time), seq, seq);
+            reference.push(std::cmp::Reverse((time, seq)));
+            seq += 1;
+        };
+        for round in 0..300u64 {
+            push(&mut q, &mut reference, round * 97 % 50_000);
+            push(&mut q, &mut reference, round * 13 % 700);
+            if round % 3 == 0 {
+                let got = q.pop();
+                let want = reference.pop().map(|r| r.0);
+                assert_eq!(got.map(|(time, s, _)| (time.as_picos(), s)), want);
+            }
+        }
+        while let Some(std::cmp::Reverse(want)) = reference.pop() {
+            let got = q.pop().map(|(time, s, _)| (time.as_picos(), s)).unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(q.is_empty());
+    }
+}

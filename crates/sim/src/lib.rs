@@ -27,6 +27,7 @@
 //! assert_eq!(t, SimTime::ZERO);
 //! ```
 
+pub mod calendar;
 pub mod chrome;
 pub mod event;
 pub mod fault;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use chrome::{to_chrome_json, validate_chrome_json};
 pub use event::EventQueue;
 pub use fault::{

@@ -466,7 +466,7 @@ fn worker_sweep_is_bit_identical_on_ring() {
         counts0.iter().all(|&c| c > 0),
         "every node must process events: {counts0:?}"
     );
-    for workers in [2usize, 4] {
+    for workers in [2usize, 4, 8] {
         let (h, json, counts, batches) = run(workers);
         assert_eq!(h, h0, "delivery hash drifted at workers={workers}");
         assert_eq!(json, json0, "metrics snapshot drifted at workers={workers}");
@@ -486,7 +486,7 @@ fn worker_sweep_is_bit_identical_on_mixed_workload() {
         run_workload_full(cfg, 0)
     };
     let (obs0, m0) = run(1);
-    for workers in [2usize, 4] {
+    for workers in [2usize, 4, 8] {
         let (obs, m) = run(workers);
         assert_eq!(obs, obs0, "observation drifted at workers={workers}");
         assert_eq!(
@@ -517,7 +517,7 @@ fn faulted_worker_sweep_is_bit_identical() {
         obs0.mesh_stats.packets_dropped + obs0.mesh_stats.packets_corrupted > 0,
         "fault rates must actually bite for this sweep to mean anything"
     );
-    for workers in [2usize, 4] {
+    for workers in [2usize, 4, 8] {
         let (obs, m) = run(workers);
         assert_eq!(obs, obs0, "faulted run drifted at workers={workers}");
         assert_eq!(
