@@ -755,6 +755,66 @@ impl Machine {
         Ok(self.node(node).mem.read_bytes(addr, len)?)
     }
 
+    /// Translates a virtual address through a process page table without
+    /// touching the TLB or advancing time. Workload harnesses use this
+    /// to attribute [`DeliveryRecord`]s (which carry physical
+    /// destinations) back to the session whose receive buffer they
+    /// landed in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors; `Os(NoSuchProcess)` when `pid` is
+    /// unknown on `node`.
+    pub fn translate(
+        &self,
+        node: NodeId,
+        pid: Pid,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, MachineError> {
+        let n = self.node(node);
+        let proc = n
+            .kernel
+            .process(pid)
+            .ok_or(MachineError::Os(OsError::NoSuchProcess(pid)))?;
+        Ok(proc.page_table().translate_read(va)?.phys)
+    }
+
+    // ──────────────────────── session accounting ─────────────────────────
+
+    /// Records a workload session opening with `node` as its source.
+    /// Pure accounting — no events, no time: the counters surface in
+    /// [`Machine::metrics_snapshot`] (only once nonzero, so runs without
+    /// sessions keep their pinned snapshots byte-identical).
+    pub fn note_session_opened(&mut self, node: NodeId) {
+        self.node_mut(node).sessions_opened += 1;
+    }
+
+    /// Records a workload session closing (pairs with
+    /// [`Machine::note_session_opened`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no open session.
+    pub fn note_session_closed(&mut self, node: NodeId) {
+        let n = self.node_mut(node);
+        assert!(n.sessions_opened > n.sessions_closed, "no open session on {node:?}");
+        n.sessions_closed += 1;
+    }
+
+    /// Sessions currently open on `node` (opened − closed).
+    pub fn sessions_open(&self, node: NodeId) -> u64 {
+        self.node(node).sessions_open()
+    }
+
+    /// Runs until the delivery log grows past `seen` records or the
+    /// machine idles/reaches `limit`; true when a new delivery arrived.
+    /// The closed-loop generator's blocking wait: like
+    /// [`Machine::run_until_pred`] it runs windowless, so outcomes are
+    /// identical for any worker count.
+    pub fn run_until_new_delivery(&mut self, limit: SimTime, seen: usize) -> bool {
+        self.run_until_pred(limit, |m| m.delivery_log.len() > seen)
+    }
+
     // ───────────────────────────── paging ────────────────────────────────
 
     /// Starts the §4.4 pageout protocol for a frame of `node`.
@@ -1526,6 +1586,22 @@ impl Machine {
         reg.set_counter("machine.sim_time_ps", self.now().as_picos());
         reg.set_counter("machine.deliveries", self.delivery_log.len() as u64);
         reg.set_counter("machine.drops", self.drop_log.len() as u64);
+        let opened: u64 = self.nodes.iter().map(|n| n.sessions_opened).sum();
+        if opened > 0 {
+            // Session accounting only exists when a workload generator
+            // drove the run; gating on nonzero keeps every pre-existing
+            // pinned snapshot byte-identical.
+            reg.set_counter("machine.sessions_opened", opened);
+            reg.set_counter(
+                "machine.sessions_closed",
+                self.nodes.iter().map(|n| n.sessions_closed).sum::<u64>(),
+            );
+            for (i, n) in self.nodes.iter().enumerate() {
+                if n.sessions_opened > 0 {
+                    reg.set_counter(format!("node{i}.sessions_opened"), n.sessions_opened);
+                }
+            }
+        }
         if self.telemetry.e2e.count() > 0 {
             reg.set_histogram("latency.e2e", &self.telemetry.e2e);
             reg.set_histogram("latency.out_fifo", &self.telemetry.out_fifo);

@@ -140,6 +140,11 @@ pub(crate) struct Node {
     pub(crate) pop_wakeup: Option<SimTime>,
     pub(crate) drain_wakeup: Option<SimTime>,
     pub(crate) housekeep_wakeup: Option<SimTime>,
+    /// Workload sessions ever opened with this node as their source
+    /// (closed-loop generator accounting; see `shrimp-workload`).
+    pub(crate) sessions_opened: u64,
+    /// Workload sessions since closed.
+    pub(crate) sessions_closed: u64,
 }
 
 impl Node {
@@ -172,7 +177,14 @@ impl Node {
             pop_wakeup: None,
             drain_wakeup: None,
             housekeep_wakeup: None,
+            sessions_opened: 0,
+            sessions_closed: 0,
         }
+    }
+
+    /// Workload sessions currently open on this node (opened − closed).
+    pub(crate) fn sessions_open(&self) -> u64 {
+        self.sessions_opened - self.sessions_closed
     }
 
     // ────────────────────── node-local event handling ─────────────────────

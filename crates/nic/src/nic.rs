@@ -581,14 +581,23 @@ impl NetworkInterface {
 
     /// Moves stalled packets into the Outgoing FIFO as space frees,
     /// preserving order.
+    ///
+    /// A stalled deliberate-update packet may still be waiting on its
+    /// DMA read: `stamp.born` is the engine's `done_at`, possibly in the
+    /// future. Re-entering the FIFO at the refill instant would let the
+    /// packet inject before its data exists, which the born clamp at the
+    /// pop sites then papers over by rewriting `born` backwards. Refill
+    /// at `max(now, born)` instead, matching the ready time the packet
+    /// would have had without the overflow detour.
     fn refill_from_overflow(&mut self, now: SimTime) {
         while let Some(pkt) = self.overflow.front() {
             if !self.out_fifo.would_fit(pkt.wire_len()) {
                 break;
             }
             let pkt = self.overflow.pop_front().expect("front checked above");
+            let ready = now.max(pkt.stamp.born);
             self.out_fifo
-                .try_push(now, pkt)
+                .try_push(ready, pkt)
                 .expect("would_fit checked above");
         }
     }
@@ -772,9 +781,9 @@ impl NetworkInterface {
             );
             framed.stamp = stamp;
             framed.stamp.injected = now;
-            // Overflowed packets re-enter the FIFO with a fresh ready
-            // time, which can pull injection ahead of a future `born`
-            // (DMA done_at); clamp so the lifecycle stays monotone.
+            // Defensive: refill_from_overflow preserves `born` as the
+            // ready time, so injection can no longer precede it; the
+            // clamp only degrades gracefully if that invariant breaks.
             framed.stamp.born = framed.stamp.born.min(now);
             peer.unacked.push_back(framed.clone());
             peer.timeout_at = Some(now + peer.rto);
@@ -1437,6 +1446,64 @@ mod tests {
         assert_eq!(packet.payload().len(), 1024);
         assert_eq!(packet.header().dst_addr, PageNum::new(12).base());
         assert_eq!(n.stats().dma_packets, 1);
+    }
+
+    /// Regression for the overflow-refill born clamp: a deliberate
+    /// packet whose DMA read finishes in the future (`born == done_at`)
+    /// that detours through the overflow queue must re-enter the FIFO at
+    /// `born`, not at the refill instant. Before the fix, the refill's
+    /// fresh ready time let the packet inject *before* its data existed
+    /// and the pop-site clamp rewrote `born` backwards, silently
+    /// shortening the out-FIFO stage. A session transfer popped in the
+    /// same instant as its refill must show `born == injected` exactly,
+    /// so the stage sums still telescope to end-to-end.
+    #[test]
+    fn overflow_refill_preserves_future_born() {
+        let mut n = nic();
+        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
+        map_out(&mut n, 7, 1, 13, UpdatePolicy::Deliberate);
+        let full_page = PAGE_SIZE as u32 / WORD_SIZE as u32;
+
+        // First transfer: fills just over half the 8 KB out FIFO.
+        let e1 = n
+            .command_write(t(0), n.command_space().command_addr_for(PageNum::new(6).base()),
+                full_page, |_, len| (Payload::from(vec![0x11; len as usize]), t(500)))
+            .unwrap();
+        let CommandEffect::DmaStarted { done_at: done1 } = e1 else {
+            panic!("expected DmaStarted, got {e1:?}");
+        };
+
+        // Second transfer, started once the engine frees: its packet no
+        // longer fits behind the first, so it lands in overflow with a
+        // future born (= its own done_at).
+        let e2 = n
+            .command_write(done1, n.command_space().command_addr_for(PageNum::new(7).base()),
+                full_page, |_, len| (Payload::from(vec![0x22; len as usize]), done1 + SimDuration::from_ns(500)))
+            .unwrap();
+        let CommandEffect::DmaStarted { done_at: done2 } = e2 else {
+            panic!("expected DmaStarted, got {e2:?}");
+        };
+        assert!(done2 > done1);
+
+        // Popping the first packet triggers refill_from_overflow at
+        // `done1`, while the second packet's DMA is still in flight.
+        let first = n.pop_outgoing(done1).expect("first packet ready at its done_at");
+        assert_eq!(first.payload().payload()[0], 0x11);
+
+        // The refilled packet must stay invisible until its read is done…
+        assert!(
+            n.pop_outgoing(done2 - SimDuration::from_ns(1)).is_none(),
+            "overflowed packet must not inject before its DMA read completes"
+        );
+
+        // …and at `done2` it pops with born == injected == done2: the
+        // same-instant refill/pop case telescopes with a zero out-FIFO
+        // stage instead of a clamped, rewritten born.
+        let second = n.pop_outgoing(done2).expect("ready exactly at done_at");
+        let stamp = second.payload().stamp;
+        assert_eq!(stamp.born, done2);
+        assert_eq!(stamp.injected, done2);
+        assert_eq!(stamp.injected.since(stamp.born), SimDuration::ZERO);
     }
 
     #[test]

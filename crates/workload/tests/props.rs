@@ -1,0 +1,150 @@
+//! Property tests for the workload layer: the DSL's canonical text is
+//! a lossless encoding, and the generator is a pure function of the
+//! scenario (same seed → byte-identical metrics).
+
+use proptest::prelude::*;
+
+use shrimp_sim::SimDuration;
+use shrimp_workload::dsl::{DurRange, FaultSpec, NodeSel, Scenario, SessionKind, SessionSpec};
+use shrimp_workload::run_scenario;
+
+/// All generated scenarios sit on a 2x2 mesh; node selectors draw from
+/// `0..4` plus a fifth value meaning `any`.
+const NODES: u16 = 4;
+
+fn arb_dur_range() -> impl Strategy<Value = DurRange> {
+    (0u64..5_000, 0u64..5_000).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        DurRange {
+            lo: SimDuration::from_ns(lo),
+            hi: SimDuration::from_ns(hi),
+        }
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = SessionKind> {
+    prop_oneof![
+        (1u32..5, 1u32..64, 1u32..64, arb_dur_range(), arb_dur_range()).prop_map(
+            |(requests, rw, sw, think, server)| SessionKind::Rpc {
+                requests,
+                request_bytes: rw * 4,
+                response_bytes: sw * 4,
+                think,
+                server,
+            }
+        ),
+        (1u32..4, arb_dur_range()).prop_map(|(pages, gap)| SessionKind::Stream { pages, gap }),
+        (1u16..NODES, 1u32..3, 1u32..32, arb_dur_range()).prop_map(
+            |(leaves, rounds, w, think)| SessionKind::Fanout {
+                leaves,
+                rounds,
+                bytes: w * 4,
+                think,
+            }
+        ),
+        (1u32..3, 1u32..5, 1u32..16, arb_dur_range()).prop_map(
+            |(pages, ops, w, think)| SessionKind::Dsm {
+                pages,
+                ops,
+                write_bytes: w * 4,
+                think,
+            }
+        ),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = SessionSpec> {
+    (1u32..6, 0u16..=NODES, 0u16..=NODES, arb_kind()).prop_map(|(count, s, d, kind)| {
+        let src = if s == NODES { NodeSel::Any } else { NodeSel::Fixed(s) };
+        let dst = match kind {
+            // The fan-out root is its own "destination"; the DSL
+            // neither parses nor serializes a dst for it.
+            SessionKind::Fanout { .. } => NodeSel::Any,
+            _ if d == NODES => NodeSel::Any,
+            _ => {
+                let mut d = d;
+                if let NodeSel::Fixed(sv) = src {
+                    if sv == d {
+                        d = (d + 1) % NODES;
+                    }
+                }
+                NodeSel::Fixed(d)
+            }
+        };
+        SessionSpec { count, src, dst, kind }
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        32u64..200,
+        1u32..8,
+        prop::option::of((0u32..100, 0u32..100, any::<u64>())),
+        prop::collection::vec(arb_spec(), 1..5),
+    )
+        .prop_map(|(seed, pages, users, fault, specs)| Scenario {
+            name: "generated".into(),
+            mesh: (2, 2),
+            seed,
+            pages,
+            users,
+            fault: fault.map(|(d, c, s)| FaultSpec {
+                drop: f64::from(d) / 1000.0,
+                corrupt: f64::from(c) / 1000.0,
+                seed: s,
+            }),
+            specs,
+        })
+}
+
+proptest! {
+    /// parse ∘ to_text is the identity on valid scenarios, and the
+    /// canonical text is a fixed point.
+    #[test]
+    fn dsl_round_trips(sc in arb_scenario()) {
+        prop_assert!(sc.validate().is_ok(), "strategy must emit valid scenarios");
+        let text = sc.to_text();
+        let parsed = Scenario::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &sc);
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// The generator is a pure function of the scenario: two runs with
+    /// the same seed produce byte-identical `shrimp.metrics.v1` JSON
+    /// (and hence the same delivery hash and event count).
+    #[test]
+    fn same_seed_same_metrics(seed in any::<u64>()) {
+        let sc = Scenario {
+            name: "tiny".into(),
+            mesh: (2, 1),
+            seed,
+            pages: 32,
+            users: 2,
+            fault: None,
+            specs: vec![SessionSpec {
+                count: 2,
+                src: NodeSel::Any,
+                dst: NodeSel::Any,
+                kind: SessionKind::Rpc {
+                    requests: 1,
+                    request_bytes: 64,
+                    response_bytes: 128,
+                    think: DurRange {
+                        lo: SimDuration::from_ns(100),
+                        hi: SimDuration::from_us(2),
+                    },
+                    server: DurRange {
+                        lo: SimDuration::from_ns(500),
+                        hi: SimDuration::from_us(1),
+                    },
+                },
+            }],
+        };
+        let a = run_scenario(&sc).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let b = run_scenario(&sc).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(a.delivery_hash, b.delivery_hash);
+        prop_assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
+}

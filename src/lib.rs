@@ -58,6 +58,7 @@ pub use shrimp_mesh as mesh;
 pub use shrimp_nic as nic;
 pub use shrimp_os as os;
 pub use shrimp_sim as sim;
+pub use shrimp_workload as workload;
 
 /// The assembled machine and its configuration.
 pub use shrimp_core as core;
