@@ -274,6 +274,9 @@ impl Machine {
             Some(level) => Tracer::new(level),
             None => Tracer::disabled(),
         };
+        if let Some(level) = config.telemetry.trace_level {
+            mesh.set_tracer(Tracer::new(level));
+        }
         let pool = (config.workers > 1).then(|| WorkerPool::new(config.workers, config));
         let slot_of = vec![-1; nodes.len()];
         let armed = vec![0; nodes.len()];
@@ -1572,6 +1575,13 @@ impl Machine {
         reg.set_counter("mesh.packets_dropped", ms.packets_dropped);
         reg.set_counter("mesh.packets_corrupted", ms.packets_corrupted);
         reg.set_counter("mesh.packets_jittered", ms.packets_jittered);
+        if ms.reroutes > 0 || ms.bounced > 0 {
+            // Adaptive routing only fires under link churn; gating on
+            // nonzero keeps every pre-existing pinned snapshot
+            // byte-identical.
+            reg.set_counter("mesh.reroutes", ms.reroutes);
+            reg.set_counter("mesh.bounced", ms.bounced);
+        }
         let elapsed = self.now().as_picos();
         for (a, b, u) in self.mesh.link_usage() {
             reg.set_counter(format!("mesh.link.{}-{}.bytes", a.0, b.0), u.bytes);
@@ -1616,6 +1626,7 @@ impl Machine {
     /// as a Chrome trace-event JSON document loadable in Perfetto.
     pub fn export_chrome_trace(&self) -> String {
         let mut events: Vec<TraceEvent> = self.tracer.events().to_vec();
+        events.extend_from_slice(self.mesh.tracer().events());
         for n in &self.nodes {
             events.extend_from_slice(n.nic.tracer().events());
         }

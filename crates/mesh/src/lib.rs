@@ -35,9 +35,11 @@
 pub mod config;
 pub mod network;
 pub mod packet;
+pub mod routing;
 pub mod topology;
 
 pub use config::MeshConfig;
 pub use network::{LinkUse, MeshNetwork, NetworkStats};
 pub use packet::{MeshPacket, MeshPayload};
+pub use routing::{RouteDecision, RouteTable};
 pub use topology::{Direction, MeshCoord, MeshShape, NodeId};

@@ -16,10 +16,13 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use shrimp_sim::fault::{FaultConfig, LinkFault, LinkFaultSite};
-use shrimp_sim::{EventQueue, Histogram, SimDuration, SimTime};
+use shrimp_sim::{
+    ComponentId, EventQueue, Histogram, SimDuration, SimTime, TraceData, TraceLevel, Tracer,
+};
 
 use crate::config::MeshConfig;
 use crate::packet::{MeshPacket, MeshPayload};
+use crate::routing::{RouteDecision, RouteTable, CH_START};
 use crate::topology::{Direction, MeshShape, NodeId};
 
 const PORT_INJECT: usize = 4;
@@ -37,6 +40,10 @@ enum Event {
     SlotDrained { node: NodeId, port: usize },
     /// Something changed; re-attempt forwarding at `node`.
     Retry { node: NodeId },
+    /// The churn schedule fails directed link `link` (`node * 4 + dir`).
+    LinkDown { link: usize },
+    /// The churn schedule repairs directed link `link`.
+    LinkUp { link: usize },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -94,6 +101,12 @@ pub struct NetworkStats {
     pub packets_corrupted: u64,
     /// Link traversals that saw injected latency jitter.
     pub packets_jittered: u64,
+    /// Forwards whose adaptive west-first direction differed from the
+    /// static dimension-order route (the dynamic path was exercised).
+    pub reroutes: u64,
+    /// Packets bounced back to their source NIC because no legal
+    /// west-first path existed (or their link died under them).
+    pub bounced: u64,
 }
 
 /// Usage accumulated by one directed link.
@@ -132,6 +145,18 @@ pub struct MeshNetwork<P = Bytes> {
     stats: NetworkStats,
     /// Per-directed-link usage, indexed like `link_free_at`.
     link_use: Vec<LinkUse>,
+    /// Per-directed-link up/down state (same indexing as `link_free_at`).
+    link_up: Vec<bool>,
+    /// Link-state epoch: bumped on every up/down transition. Route
+    /// tables are valid for exactly one epoch.
+    epoch: u64,
+    /// True once a churn schedule was armed: adaptive west-first
+    /// routing and the bounce paths replace static dimension-order.
+    churn_armed: bool,
+    /// Lazily (re)built west-first table for `table_epoch`.
+    table: Option<RouteTable>,
+    table_epoch: u64,
+    tracer: Tracer,
 }
 
 impl<P: MeshPayload> MeshNetwork<P> {
@@ -162,18 +187,92 @@ impl<P: MeshPayload> MeshNetwork<P> {
             faults: Vec::new(),
             stats: NetworkStats::default(),
             link_use: vec![LinkUse::default(); n * 4],
+            link_up: vec![true; n * 4],
+            epoch: 0,
+            churn_armed: false,
+            table: None,
+            table_epoch: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Arms (or, with an inactive config, disarms) per-link fault
     /// injection. Each directed link gets its own named RNG stream, so a
     /// fault plan is reproducible regardless of traffic order elsewhere.
+    ///
+    /// An active churn config additionally schedules the entire
+    /// fail/repair event set up front (a pure function of the seed) and
+    /// switches routing from static dimension-order to west-first
+    /// adaptive for the rest of the run.
     pub fn set_fault_injection(&mut self, cfg: &FaultConfig) {
         let links = self.link_free_at.len();
         if cfg.link.is_active() {
             self.faults = (0..links).map(|i| cfg.link_site(i as u64)).collect();
         } else {
             self.faults = Vec::new();
+        }
+        self.churn_armed = cfg.churn.is_active();
+        self.table = None;
+        if !self.churn_armed {
+            return;
+        }
+        for link in 0..links {
+            let node = NodeId((link / 4) as u16);
+            let dir = Direction::ALL[link % 4];
+            if self.shape.neighbor(node, dir).is_none() {
+                continue; // mesh edge: no physical link to churn
+            }
+            for (down_at, up_at) in cfg.churn_windows(link as u64) {
+                self.events.push(SimTime::ZERO + down_at, Event::LinkDown { link });
+                self.events.push(SimTime::ZERO + up_at, Event::LinkUp { link });
+            }
+        }
+    }
+
+    /// Attaches a tracer for link up/down events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The mesh's tracer (link churn events).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// True when the directed link `from` → its `dir` neighbor is up.
+    pub fn link_is_up(&self, from: NodeId, dir: Direction) -> bool {
+        self.link_up[from.0 as usize * 4 + dir.index()]
+    }
+
+    /// The current link-state epoch (transitions seen so far).
+    pub fn link_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one churn transition: flips the link, bumps the epoch
+    /// (invalidating the route table), and wakes every router so heads
+    /// that were waiting on — or newly have — a route re-decide.
+    fn set_link_state(&mut self, link: usize, up: bool, t: SimTime) {
+        if self.link_up[link] == up {
+            return;
+        }
+        self.link_up[link] = up;
+        self.epoch += 1;
+        if self.tracer.wants(TraceLevel::Info) {
+            let from = NodeId((link / 4) as u16);
+            let to = self
+                .shape
+                .neighbor(from, Direction::ALL[link % 4])
+                .expect("churn only schedules physical links");
+            let data = if up {
+                TraceData::LinkUp { from: from.0, to: to.0, epoch: self.epoch }
+            } else {
+                TraceData::LinkDown { from: from.0, to: to.0, epoch: self.epoch }
+            };
+            self.tracer.emit(t, TraceLevel::Info, ComponentId::MESH, data);
+        }
+        for node in 0..self.retry_at.len() {
+            self.schedule_retry(NodeId(node as u16), t);
         }
     }
 
@@ -268,9 +367,24 @@ impl<P: MeshPayload> MeshNetwork<P> {
             self.now = self.now.max(t);
             match ev {
                 Event::Arrive { packet, node, port } => {
-                    let buf = &mut self.routers[node.0 as usize].inputs[port];
-                    buf.reserved -= 1;
-                    buf.queue.push_back(packet);
+                    self.routers[node.0 as usize].inputs[port].reserved -= 1;
+                    // If the traversed link died while the packet was on
+                    // the wire, the worm is torn: bounce it to its source
+                    // NIC for go-back-N recovery instead of letting a
+                    // half-arrived packet vanish.
+                    if self.churn_armed && port != PORT_INJECT {
+                        let feeder = self
+                            .shape
+                            .neighbor(node, Direction::ALL[port])
+                            .expect("transit ports face a neighbor");
+                        let link =
+                            feeder.0 as usize * 4 + Direction::ALL[port].opposite().index();
+                        if !self.link_up[link] {
+                            self.bounce(packet, t);
+                            continue;
+                        }
+                    }
+                    self.routers[node.0 as usize].inputs[port].queue.push_back(packet);
                     self.try_forward(node, t);
                 }
                 Event::SlotDrained { node, port } => {
@@ -292,6 +406,8 @@ impl<P: MeshPayload> MeshNetwork<P> {
                     }
                     self.try_forward(node, t);
                 }
+                Event::LinkDown { link } => self.set_link_state(link, false, t),
+                Event::LinkUp { link } => self.set_link_state(link, true, t),
             }
         }
     }
@@ -355,8 +471,8 @@ impl<P: MeshPayload> MeshNetwork<P> {
         };
         let dst = self.packets[id].as_ref().expect("queued packet must exist").packet.dst();
 
-        match self.shape.route_next(node, dst) {
-            None => {
+        match self.route(node, port, dst) {
+            RouteDecision::Eject => {
                 // Eject into the bounded ejection buffer; the packet is
                 // only complete (CRC-checkable) once its tail arrives.
                 let tail_at = self.packets[id]
@@ -377,7 +493,24 @@ impl<P: MeshPayload> MeshNetwork<P> {
                 self.wake_feeder(node, port, t);
                 true
             }
-            Some(dir) => {
+            RouteDecision::Unreachable => {
+                // No legal west-first path under the current link set.
+                // Wait for the tail (the bounce carries the whole
+                // packet), then return it to the source NIC.
+                let tail_at = self.packets[id]
+                    .as_ref()
+                    .expect("queued packet must exist")
+                    .tail_at;
+                if tail_at > t {
+                    self.schedule_retry(node, tail_at);
+                    return false;
+                }
+                self.routers[node.0 as usize].inputs[port].queue.pop_front();
+                self.wake_feeder(node, port, t);
+                self.bounce(id, t);
+                true
+            }
+            RouteDecision::Forward(dir) => {
                 let link_idx = node.0 as usize * 4 + dir.index();
                 let link_free = self.link_free_at[link_idx];
                 if link_free > t {
@@ -425,6 +558,9 @@ impl<P: MeshPayload> MeshNetwork<P> {
                     return true;
                 }
                 self.routers[down.0 as usize].inputs[dport].reserved += 1;
+                if self.churn_armed && self.shape.route_next(node, dst) != Some(dir) {
+                    self.stats.reroutes += 1;
+                }
                 let inflight = self.packets[id].as_mut().expect("forwarding packet must exist");
                 inflight.hops += 1;
                 if fault.corrupt_bits > 0 {
@@ -461,6 +597,42 @@ impl<P: MeshPayload> MeshNetwork<P> {
                 true
             }
         }
+    }
+
+    /// The routing decision for the head of `(node, port)`: static
+    /// dimension-order while the topology is fixed, west-first adaptive
+    /// (table rebuilt lazily per link-state epoch) once churn is armed.
+    fn route(&mut self, node: NodeId, port: usize, dst: NodeId) -> RouteDecision {
+        if !self.churn_armed {
+            return match self.shape.route_next(node, dst) {
+                None => RouteDecision::Eject,
+                Some(dir) => RouteDecision::Forward(dir),
+            };
+        }
+        if self.table.is_none() || self.table_epoch != self.epoch {
+            self.table = Some(RouteTable::build(self.shape, &self.link_up));
+            self.table_epoch = self.epoch;
+        }
+        let channel = if port == PORT_INJECT {
+            CH_START
+        } else {
+            Direction::ALL[port].opposite().index()
+        };
+        self.table.as_ref().expect("table built above").decide(node, channel, dst)
+    }
+
+    /// Returns packet `id` to its source node's ejection buffer. The
+    /// bounce channel is out of band — not subject to the data ejection
+    /// bound — so recovery cannot itself be backpressured into a
+    /// deadlock; in practice it is bounded by the NICs' go-back-N
+    /// windows.
+    fn bounce(&mut self, id: usize, t: SimTime) {
+        let src = self.packets[id].as_ref().expect("bounced packet must exist").packet.src();
+        let back_at = t + self.config.hop_latency;
+        self.routers[src.0 as usize].ejection.push_back((id, back_at));
+        self.stats.bounced += 1;
+        // A mesh event at `back_at` so the host pumps ejections then.
+        self.schedule_retry(src, back_at);
     }
 
     fn wake_feeder(&mut self, node: NodeId, port: usize, t: SimTime) {
@@ -765,6 +937,138 @@ mod tests {
         assert_eq!(a_got, b_got);
         assert_eq!(a_stats, b_stats);
         assert!(a_stats.packets_dropped > 0, "0.3 drop rate must fire");
+    }
+
+    /// Directed link index helper for churn tests.
+    fn link(node: u16, dir: Direction) -> usize {
+        node as usize * 4 + dir.index()
+    }
+
+    #[test]
+    fn dead_link_reroutes_adaptively_and_delivers() {
+        // 2x2 mesh: 0 -> 1 is one East hop. Kill it; west-first routes
+        // the long way round (0 -> 2 -> 3 -> 1 or equivalent).
+        let mut n = net(2, 2);
+        n.churn_armed = true;
+        n.set_link_state(link(0, Direction::East), false, SimTime::ZERO);
+        n.try_inject(SimTime::ZERO, pkt(0, 1, 64)).unwrap();
+        let got = drain(&mut n, NodeId(1));
+        assert_eq!(got.len(), 1, "the detour must deliver");
+        assert_eq!(n.stats().hops.max(), Some(3), "non-minimal 3-hop detour");
+        assert!(n.stats().reroutes > 0, "the adaptive path was taken");
+        assert_eq!(n.stats().bounced, 0);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn unreachable_west_destination_bounces_to_source() {
+        // 2x1 mesh: 1 -> 0 needs a West hop; with the only west link
+        // dead there is no legal west-first detour. The packet must
+        // come back to node 1's ejection buffer for go-back-N.
+        let mut n = net(2, 1);
+        n.churn_armed = true;
+        n.set_link_state(link(1, Direction::West), false, SimTime::ZERO);
+        n.try_inject(SimTime::ZERO, pkt(1, 0, 64)).unwrap();
+        assert!(drain(&mut n, NodeId(0)).is_empty(), "nothing reaches node 0");
+        let back = drain(&mut n, NodeId(1));
+        assert_eq!(back.len(), 1, "the packet bounces home");
+        assert_eq!(back[0].0.dst(), NodeId(0), "unmodified original packet");
+        assert_eq!(n.stats().bounced, 1);
+        assert!(n.is_idle());
+        // After repair the same route works again.
+        n.set_link_state(link(1, Direction::West), true, n.now());
+        n.try_inject(n.now(), pkt(1, 0, 64)).unwrap();
+        assert_eq!(drain(&mut n, NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn packet_in_flight_across_dying_link_is_bounced() {
+        // Head leaves node 0 at t=0 and arrives at t=hop_latency; the
+        // link dies in between. The packet must bounce, not vanish.
+        let mut n = net(2, 1);
+        n.churn_armed = true;
+        n.try_inject(SimTime::ZERO, pkt(0, 1, 64)).unwrap();
+        // Process the injection retry at t=0 only: the forward happens,
+        // the Arrive is now in flight.
+        n.advance(SimTime::ZERO);
+        let mid = SimTime::from_picos(n.config().hop_latency.as_picos() / 2);
+        n.set_link_state(link(0, Direction::East), false, mid);
+        assert!(drain(&mut n, NodeId(1)).is_empty(), "the torn worm never arrives");
+        let back = drain(&mut n, NodeId(0));
+        assert_eq!(back.len(), 1, "the packet bounces to its source");
+        assert_eq!(n.stats().bounced, 1);
+        assert_eq!(n.stats().packets_dropped, 0, "a bounce is not a drop");
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_settles() {
+        let churned = shrimp_sim::FaultConfig {
+            seed: 77,
+            churn: shrimp_sim::LinkChurnConfig {
+                times: 2,
+                fail_after: (SimDuration::from_ns(100), SimDuration::from_us(4)),
+                repair_after: (SimDuration::from_ns(500), SimDuration::from_us(2)),
+            },
+            ..Default::default()
+        };
+        let run = || {
+            let mut n = net(3, 3);
+            n.set_fault_injection(&churned);
+            let mut now = SimTime::ZERO;
+            let mut got = 0usize;
+            let eject_all = |n: &mut MeshNetwork, got: &mut usize| {
+                for node in 0..9 {
+                    while n.eject(NodeId(node)).is_some() {
+                        *got += 1;
+                    }
+                }
+            };
+            for i in 0..40u64 {
+                let src = (i % 9) as u16;
+                let dst = ((i + 5) % 9) as u16;
+                now = now.max(SimTime::from_picos(i * 300_000)).max(n.now());
+                let mut p = pkt(src, dst, 80);
+                let mut spins = 0;
+                loop {
+                    n.advance(now);
+                    match n.try_inject(now.max(n.now()), p) {
+                        Ok(()) => break,
+                        Err(refused) => p = refused,
+                    }
+                    eject_all(&mut n, &mut got);
+                    if let Some(next) = n.next_event_time() {
+                        n.advance(next);
+                        now = now.max(next);
+                    }
+                    spins += 1;
+                    assert!(spins < 100_000, "injection starved under churn");
+                }
+            }
+            loop {
+                while let Some(t) = n.next_event_time() {
+                    n.advance(t);
+                }
+                let before = got;
+                eject_all(&mut n, &mut got);
+                if got == before && n.next_event_time().is_none() {
+                    break;
+                }
+            }
+            // Every injected packet either arrived or bounced home;
+            // nothing vanished and nothing wedged.
+            assert!(n.is_idle(), "churn must not wedge the mesh");
+            (got, n.stats().clone())
+        };
+        let (a_got, a_stats) = run();
+        let (b_got, b_stats) = run();
+        assert_eq!(a_got, b_got);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(
+            a_stats.packets_injected,
+            a_stats.packets_ejected,
+            "bounces come back through ejection: totals reconcile"
+        );
     }
 
     #[test]

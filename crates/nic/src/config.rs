@@ -47,6 +47,13 @@ pub struct RetxConfig {
     pub base_timeout: SimDuration,
     /// Exponential-backoff cap for the retransmit timeout.
     pub max_timeout: SimDuration,
+    /// Replay pacing after the mesh *bounces* a frame back (no route to
+    /// the destination under the current link set). A bounce means the
+    /// fabric is down, not lossy: the engine retries every
+    /// `reroute_backoff` at a flat rate instead of escalating the
+    /// exponential loss backoff, so recovery starts promptly once a
+    /// link heals or a reroute appears.
+    pub reroute_backoff: SimDuration,
 }
 
 impl RetxConfig {
@@ -66,6 +73,7 @@ impl RetxConfig {
             window_packets: 32,
             base_timeout: SimDuration::from_us(60),
             max_timeout: SimDuration::from_us(960),
+            reroute_backoff: SimDuration::from_us(30),
         }
     }
 }
@@ -125,6 +133,10 @@ impl NicConfig {
                 self.retx.base_timeout > SimDuration::ZERO
                     && self.retx.base_timeout <= self.retx.max_timeout,
                 "retx timeouts must be positive and ordered"
+            );
+            assert!(
+                self.retx.reroute_backoff > SimDuration::ZERO,
+                "reroute backoff must be positive"
             );
         }
     }

@@ -144,6 +144,14 @@ pub struct NicStats {
     pub gap_drops: u64,
     /// Injected receive-FIFO stalls (fault injection).
     pub fault_stalls: u64,
+    /// Elevated retransmit backoffs reset by ack progress.
+    pub gbn_backoff_resets: u64,
+    /// Gap nacks suppressed because the hole was already nacked (the
+    /// nack-storm guard fired).
+    pub gbn_nack_suppressions: u64,
+    /// Own frames returned by the mesh bounce path (no route to the
+    /// destination under the link set in force).
+    pub gbn_bounces: u64,
 }
 
 /// Registry handles into the NIC's [`MetricSet`], one per [`NicStats`]
@@ -171,6 +179,10 @@ struct NicCounterIds {
     dup_drops: CounterId,
     gap_drops: CounterId,
     fault_stalls: CounterId,
+    gbn_retransmissions: CounterId,
+    gbn_backoff_resets: CounterId,
+    gbn_nack_suppressions: CounterId,
+    gbn_bounces: CounterId,
 }
 
 impl NicCounterIds {
@@ -199,6 +211,13 @@ impl NicCounterIds {
             dup_drops: set.counter("retx.dup_drops"),
             gap_drops: set.counter("retx.gap_drops"),
             fault_stalls: set.counter("fault_stalls"),
+            // Go-back-N health rollup: one namespace a churn soak can
+            // assert recovery against. `gbn.retransmissions` mirrors
+            // `retx.retransmissions` so the namespace is self-contained.
+            gbn_retransmissions: set.counter("gbn.retransmissions"),
+            gbn_backoff_resets: set.counter("gbn.backoff_resets"),
+            gbn_nack_suppressions: set.counter("gbn.nack_suppressions"),
+            gbn_bounces: set.counter("gbn.bounces"),
         }
     }
 }
@@ -419,6 +438,9 @@ impl NetworkInterface {
             dup_drops: v(self.ids.dup_drops),
             gap_drops: v(self.ids.gap_drops),
             fault_stalls: v(self.ids.fault_stalls),
+            gbn_backoff_resets: v(self.ids.gbn_backoff_resets),
+            gbn_nack_suppressions: v(self.ids.gbn_nack_suppressions),
+            gbn_bounces: v(self.ids.gbn_bounces),
         }
     }
 
@@ -832,6 +854,7 @@ impl NetworkInterface {
             peer.resend_from = more.then_some(next);
             peer.timeout_at = Some(now + peer.rto);
             self.metrics.incr(self.ids.retransmissions);
+            self.metrics.incr(self.ids.gbn_retransmissions);
             if self.tracer.wants(TraceLevel::Warn) {
                 self.tracer.emit(
                     now,
@@ -1004,6 +1027,12 @@ impl NetworkInterface {
             self.metrics.incr(self.ids.crc_drops);
             return Err(NicError::BadCrc);
         }
+        if packet.header().src == self.node && packet.header().dst_coord != self.coord {
+            // One of our own frames came home: the mesh bounced it
+            // because no legal route to its destination existed under
+            // the current link set (or its link died mid-flight).
+            return self.accept_bounce(now, &packet);
+        }
         if packet.header().dst_coord != self.coord {
             self.metrics.incr(self.ids.misroutes);
             return Err(NicError::WrongDestination {
@@ -1046,6 +1075,34 @@ impl NetworkInterface {
                 seq,
             }) => self.accept_data_frame(now, src, seq, packet),
         }
+    }
+
+    /// Handles one of our own frames returned by the mesh bounce path.
+    ///
+    /// For a data frame the send window toward its destination is still
+    /// holding it (nothing was acked), so recovery is a rewind: reset
+    /// the loss backoff — the fabric is *down*, not lossy, and
+    /// escalation would only delay recovery past the repair — cancel
+    /// any pending replay, and arm a flat-rate retry
+    /// [`crate::RetxConfig::reroute_backoff`] from now. Every further
+    /// bounce re-arms the same pacing, so the engine probes the fabric
+    /// at a constant rate until a route exists again. Bounced ack/nack
+    /// frames are simply dropped: the data path's own timers recover.
+    fn accept_bounce(&mut self, now: SimTime, packet: &ShrimpPacket) -> Result<(), NicError> {
+        self.metrics.incr(self.ids.gbn_bounces);
+        let base_rto = self.config.retx.base_timeout;
+        let pace = self.config.retx.reroute_backoff;
+        if let Some(LinkCtl { kind: FrameKind::Data, .. }) = packet.link() {
+            let dst = self.shape.id_at(packet.header().dst_coord);
+            if let Some(peer) = self.retx.as_mut().and_then(|st| st.send.get_mut(&dst.0)) {
+                if !peer.unacked.is_empty() {
+                    peer.rto = base_rto;
+                    peer.resend_from = None;
+                    peer.timeout_at = Some(now + pace);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Sequence-checks one framed data packet against the per-source
@@ -1105,6 +1162,8 @@ impl NetworkInterface {
             peer.last_nacked = Some(expected);
             if nack {
                 self.queue_control(now, src, FrameKind::Nack, expected);
+            } else {
+                self.metrics.incr(self.ids.gbn_nack_suppressions);
             }
             Ok(())
         }
@@ -1127,6 +1186,9 @@ impl NetworkInterface {
         }
         if progressed {
             // Progress restarts the timer and resets the backoff.
+            if peer.rto > base_rto {
+                self.metrics.incr(self.ids.gbn_backoff_resets);
+            }
             peer.rto = base_rto;
             peer.timeout_at = if peer.unacked.is_empty() {
                 None

@@ -31,6 +31,8 @@ use crate::time::SimDuration;
 pub const STREAM_KIND_LINK: u64 = 1 << 56;
 /// Stream-id tag for per-NIC fault sites.
 pub const STREAM_KIND_NIC: u64 = 2 << 56;
+/// Stream-id tag for per-directed-link churn schedules.
+pub const STREAM_KIND_CHURN: u64 = 3 << 56;
 
 /// Faults applied on every directed mesh link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +76,42 @@ impl LinkFaultConfig {
     }
 }
 
+/// Seeded link up/down churn: every directed link fails and repairs on
+/// its own schedule, drawn once (at arm time) from a per-link stream.
+///
+/// Drawing the whole schedule up front — rather than deciding lazily as
+/// the simulation advances — makes the event set a pure function of
+/// `(seed, link_index)`, independent of traffic, worker count, or how
+/// far any particular run happens to advance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkChurnConfig {
+    /// Number of fail/repair cycles per directed link. 0 disables churn.
+    pub times: u32,
+    /// Uptime before each failure, uniform over the inclusive range.
+    pub fail_after: (SimDuration, SimDuration),
+    /// Downtime before the matching repair, uniform over the inclusive
+    /// range.
+    pub repair_after: (SimDuration, SimDuration),
+}
+
+impl Default for LinkChurnConfig {
+    fn default() -> Self {
+        LinkChurnConfig {
+            times: 0,
+            fail_after: (SimDuration::ZERO, SimDuration::ZERO),
+            repair_after: (SimDuration::ZERO, SimDuration::ZERO),
+        }
+    }
+}
+
+impl LinkChurnConfig {
+    /// True when links will actually fail.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.times > 0
+    }
+}
+
 /// Faults applied at a NIC's network-receive port.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NicFaultConfig {
@@ -110,13 +148,38 @@ pub struct FaultConfig {
     pub link: LinkFaultConfig,
     /// Per-NIC faults.
     pub nic: NicFaultConfig,
+    /// Per-link up/down churn schedule.
+    pub churn: LinkChurnConfig,
 }
 
 impl FaultConfig {
     /// True when any fault site would be created.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.link.is_active() || self.nic.is_active()
+        self.link.is_active() || self.nic.is_active() || self.churn.is_active()
+    }
+
+    /// The full fail/repair schedule for one directed link as
+    /// `(down_at, up_at)` offsets from simulation start, strictly
+    /// increasing. Empty when churn is disabled.
+    #[must_use]
+    pub fn churn_windows(&self, link_index: u64) -> Vec<(SimDuration, SimDuration)> {
+        if !self.churn.is_active() {
+            return Vec::new();
+        }
+        let mut rng = SimRng::stream_from(self.seed, STREAM_KIND_CHURN | link_index);
+        let mut draw = |(lo, hi): (SimDuration, SimDuration)| {
+            SimDuration::from_picos(rng.gen_range(lo.as_picos()..=hi.as_picos()))
+        };
+        let mut at = SimDuration::ZERO;
+        let mut windows = Vec::with_capacity(self.churn.times as usize);
+        for _ in 0..self.churn.times {
+            let down_at = at + draw(self.churn.fail_after);
+            let up_at = down_at + draw(self.churn.repair_after);
+            windows.push((down_at, up_at));
+            at = up_at;
+        }
+        windows
     }
 
     /// Builds the fault site for one directed link, or `None` when link
@@ -245,6 +308,7 @@ mod tests {
                 stall_rate: 0.5,
                 stall: (SimDuration::from_ns(10), SimDuration::from_ns(10)),
             },
+            churn: LinkChurnConfig::default(),
         }
     }
 
@@ -312,6 +376,30 @@ mod tests {
             }
         }
         assert!(max_run >= 3, "bursts must chain drops (max run {max_run})");
+    }
+
+    #[test]
+    fn churn_windows_are_ordered_and_reproducible() {
+        let cfg = FaultConfig {
+            seed: 9,
+            churn: LinkChurnConfig {
+                times: 4,
+                fail_after: (SimDuration::from_us(1), SimDuration::from_us(5)),
+                repair_after: (SimDuration::from_us(2), SimDuration::from_us(3)),
+            },
+            ..FaultConfig::default()
+        };
+        let a = cfg.churn_windows(7);
+        assert_eq!(a, cfg.churn_windows(7), "same link, same schedule");
+        assert_ne!(a, cfg.churn_windows(8), "links draw independent schedules");
+        assert_eq!(a.len(), 4);
+        let mut prev = SimDuration::ZERO;
+        for &(down_at, up_at) in &a {
+            assert!(down_at >= prev, "cycles do not overlap");
+            assert!(up_at > down_at, "every failure is eventually repaired");
+            prev = up_at;
+        }
+        assert!(FaultConfig::default().churn_windows(0).is_empty());
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use calendar::CalendarQueue;
 pub use chrome::{to_chrome_json, validate_chrome_json};
 pub use event::EventQueue;
 pub use fault::{
-    FaultConfig, LinkFault, LinkFaultConfig, LinkFaultSite, NicFaultConfig, NicFaultSite,
+    FaultConfig, LinkChurnConfig, LinkFault, LinkFaultConfig, LinkFaultSite, NicFaultConfig,
+    NicFaultSite,
 };
 pub use metrics::{
     CounterId, HistogramSummary, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot,

@@ -144,6 +144,24 @@ pub enum TraceData {
         /// Source virtual page number.
         page: u64,
     },
+    /// A directed mesh link failed (churn).
+    LinkDown {
+        /// Node the link leaves.
+        from: u16,
+        /// Node the link enters.
+        to: u16,
+        /// Link-state epoch after the transition.
+        epoch: u64,
+    },
+    /// A failed directed mesh link was repaired.
+    LinkUp {
+        /// Node the link leaves.
+        from: u16,
+        /// Node the link enters.
+        to: u16,
+        /// Link-state epoch after the transition.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for TraceData {
@@ -185,6 +203,12 @@ impl fmt::Display for TraceData {
             }
             TraceData::PageUnmapped { node, page } => {
                 write!(f, "page unmapped dst_node={node} src_page={page}")
+            }
+            TraceData::LinkDown { from, to, epoch } => {
+                write!(f, "link down {from}->{to} epoch={epoch}")
+            }
+            TraceData::LinkUp { from, to, epoch } => {
+                write!(f, "link up {from}->{to} epoch={epoch}")
             }
         }
     }

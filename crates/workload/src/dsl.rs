@@ -13,6 +13,7 @@
 //! pages <u64>                        # physical pages per node (>= 32)
 //! users <u32>                        # closed-loop concurrency cap
 //! fault drop=<f64> corrupt=<f64> seed=<u64>     # optional; enables go-back-N
+//! link fail=LO..HI repair=LO..HI times=N        # optional; per-link churn
 //! session rpc count=N src=S dst=D requests=R request=B response=B \
 //!         think=LO..HI server=LO..HI
 //! session stream count=N src=S dst=D pages=P gap=LO..HI
@@ -190,6 +191,21 @@ pub struct FaultSpec {
     pub seed: u64,
 }
 
+/// Optional link-churn block (`link` line): every directed mesh link
+/// independently fails and repairs `times` times, with up/down
+/// intervals drawn from the given ranges. Presence also turns on
+/// reliable go-back-N retransmission (churn bounces packets back to
+/// the source NIC, which must be able to retry them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Up-time drawn before each failure.
+    pub fail: DurRange,
+    /// Down-time drawn before the matching repair.
+    pub repair: DurRange,
+    /// Fail/repair cycles per directed link.
+    pub times: u32,
+}
+
 /// A parsed scenario document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -205,6 +221,8 @@ pub struct Scenario {
     pub users: u32,
     /// Optional fault injection.
     pub fault: Option<FaultSpec>,
+    /// Optional link churn.
+    pub churn: Option<ChurnSpec>,
     /// The session specs, in file order.
     pub specs: Vec<SessionSpec>,
 }
@@ -232,6 +250,7 @@ impl Scenario {
         let mut pages: Option<u64> = None;
         let mut users: Option<u32> = None;
         let mut fault: Option<FaultSpec> = None;
+        let mut churn: Option<ChurnSpec> = None;
         let mut specs: Vec<SessionSpec> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
@@ -292,6 +311,18 @@ impl Scenario {
                     });
                     kv.finish()?;
                 }
+                "link" => {
+                    if churn.is_some() {
+                        return err(ln, "duplicate `link` line");
+                    }
+                    let kv = KvLine::parse(rest, ln)?;
+                    churn = Some(ChurnSpec {
+                        fail: kv.range("fail")?,
+                        repair: kv.range("repair")?,
+                        times: kv.u64("times")? as u32,
+                    });
+                    kv.finish()?;
+                }
                 "session" => {
                     let (kind_kw, kvrest) = rest
                         .split_once(char::is_whitespace)
@@ -345,6 +376,7 @@ impl Scenario {
             pages: pages.unwrap_or(256),
             users: users.ok_or(DslError { line: 0, message: "missing `users` line".into() })?,
             fault,
+            churn,
             specs,
         };
         sc.validate()?;
@@ -377,6 +409,17 @@ impl Scenario {
             }
             if !f.drop.is_finite() || !f.corrupt.is_finite() {
                 return e("fault probabilities must be finite".into());
+            }
+        }
+        if let Some(c) = &self.churn {
+            if c.times == 0 {
+                return e("link times must be >= 1".into());
+            }
+            if c.fail.lo > c.fail.hi {
+                return e("link fail range is inverted".into());
+            }
+            if c.repair.lo > c.repair.hi {
+                return e("link repair range is inverted".into());
             }
         }
         for (i, s) in self.specs.iter().enumerate() {
@@ -468,6 +511,15 @@ impl Scenario {
         let _ = writeln!(out, "users {}", self.users);
         if let Some(f) = &self.fault {
             let _ = writeln!(out, "fault drop={} corrupt={} seed={}", f.drop, f.corrupt, f.seed);
+        }
+        if let Some(c) = &self.churn {
+            let _ = writeln!(
+                out,
+                "link fail={} repair={} times={}",
+                render_range(c.fail),
+                render_range(c.repair),
+                c.times,
+            );
         }
         for s in &self.specs {
             let _ = write!(out, "session {} count={} src={}", s.kind.keyword(), s.count, s.src.render());
@@ -653,6 +705,31 @@ mod tests {
             let s = render_dur(d);
             assert_eq!(parse_dur(&s, 1).unwrap(), d, "unit rendering of {ps} ps");
         }
+    }
+
+    #[test]
+    fn link_line_round_trips() {
+        let text = minimal() + "link fail=40us..80us repair=5us..10us times=2\n";
+        let sc = Scenario::parse(&text).unwrap();
+        assert_eq!(
+            sc.churn,
+            Some(ChurnSpec {
+                fail: DurRange {
+                    lo: SimDuration::from_us(40),
+                    hi: SimDuration::from_us(80),
+                },
+                repair: DurRange {
+                    lo: SimDuration::from_us(5),
+                    hi: SimDuration::from_us(10),
+                },
+                times: 2,
+            })
+        );
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+        let bad = minimal() + "link fail=40us..80us repair=5us..10us times=0\n";
+        assert!(Scenario::parse(&bad).is_err(), "zero churn cycles");
+        let bad = minimal() + "link fail=80us..40us repair=5us..10us times=1\n";
+        assert!(Scenario::parse(&bad).is_err(), "inverted fail range");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use shrimp_mesh::{MeshShape, NodeId};
 use shrimp_nic::{RetxConfig, UpdatePolicy};
 use shrimp_os::Pid;
 use shrimp_sim::{
-    FaultConfig, Histogram, LinkFaultConfig, SimDuration, SimRng, SimTime,
+    FaultConfig, Histogram, LinkChurnConfig, LinkFaultConfig, SimDuration, SimRng, SimTime,
 };
 
 use crate::dsl::{DurRange, NodeSel, Scenario, SessionKind};
@@ -139,6 +139,19 @@ fn run(sc: &Scenario, workers: Option<usize>) -> Result<(Report, Machine), Workl
                 ..LinkFaultConfig::default()
             },
             ..FaultConfig::default()
+        };
+    }
+    if let Some(c) = &sc.churn {
+        // The churn stream derives from the fault-line seed when one is
+        // present (so `fault` + `link` share a fault universe) and from
+        // the scenario seed otherwise.
+        if sc.fault.is_none() {
+            cfg.fault.seed = sc.seed;
+        }
+        cfg.fault.churn = LinkChurnConfig {
+            times: c.times,
+            fail_after: (c.fail.lo, c.fail.hi),
+            repair_after: (c.repair.lo, c.repair.hi),
         };
     }
     if let Some(w) = workers {

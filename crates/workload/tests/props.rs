@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use shrimp_sim::SimDuration;
-use shrimp_workload::dsl::{DurRange, FaultSpec, NodeSel, Scenario, SessionKind, SessionSpec};
+use shrimp_workload::dsl::{ChurnSpec, DurRange, FaultSpec, NodeSel, Scenario, SessionKind, SessionSpec};
 use shrimp_workload::run_scenario;
 
 /// All generated scenarios sit on a 2x2 mesh; node selectors draw from
@@ -80,10 +80,13 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         any::<u64>(),
         32u64..200,
         1u32..8,
-        prop::option::of((0u32..100, 0u32..100, any::<u64>())),
+        (
+            prop::option::of((0u32..100, 0u32..100, any::<u64>())),
+            prop::option::of((1u64..50, 0u64..50, 1u64..50, 0u64..50, 1u32..4)),
+        ),
         prop::collection::vec(arb_spec(), 1..5),
     )
-        .prop_map(|(seed, pages, users, fault, specs)| Scenario {
+        .prop_map(|(seed, pages, users, (fault, churn), specs)| Scenario {
             name: "generated".into(),
             mesh: (2, 2),
             seed,
@@ -93,6 +96,17 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 drop: f64::from(d) / 1000.0,
                 corrupt: f64::from(c) / 1000.0,
                 seed: s,
+            }),
+            churn: churn.map(|(flo, fex, rlo, rex, times)| ChurnSpec {
+                fail: DurRange {
+                    lo: SimDuration::from_us(flo),
+                    hi: SimDuration::from_us(flo + fex),
+                },
+                repair: DurRange {
+                    lo: SimDuration::from_us(rlo),
+                    hi: SimDuration::from_us(rlo + rex),
+                },
+                times,
             }),
             specs,
         })
@@ -123,6 +137,7 @@ proptest! {
             pages: 32,
             users: 2,
             fault: None,
+            churn: None,
             specs: vec![SessionSpec {
                 count: 2,
                 src: NodeSel::Any,

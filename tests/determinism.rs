@@ -21,7 +21,7 @@ use shrimp::mem::PAGE_SIZE;
 use shrimp::mesh::{MeshShape, NodeId};
 use shrimp::nic::nic::NicStats;
 use shrimp::nic::{RetxConfig, UpdatePolicy};
-use shrimp::sim::fault::{FaultConfig, LinkFaultConfig, NicFaultConfig};
+use shrimp::sim::fault::{FaultConfig, LinkChurnConfig, LinkFaultConfig, NicFaultConfig};
 use shrimp::sim::SimDuration;
 use shrimp::{DeliveryRecord, Machine, MachineConfig, MapRequest};
 
@@ -216,6 +216,7 @@ fn chaos_faults(seed: u64, drop_rate: f64, corrupt_rate: f64) -> FaultConfig {
             stall_rate: 0.002,
             stall: (SimDuration::from_ns(200), SimDuration::from_us(2)),
         },
+        churn: LinkChurnConfig::default(),
     }
 }
 
@@ -538,6 +539,192 @@ fn faulted_worker_sweep_is_bit_identical() {
     }
 }
 
+// ───────────────────── link churn: dynamic topology ─────────────────────
+
+/// A churn-only fault configuration: no loss or corruption, but every
+/// directed link fails and repairs three times on a schedule drawn
+/// from `seed`, spread across the run.
+fn churn_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        churn: LinkChurnConfig {
+            times: 3,
+            fail_after: (SimDuration::from_us(40), SimDuration::from_us(300)),
+            repair_after: (SimDuration::from_us(10), SimDuration::from_us(60)),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+/// Like [`run_workload`] (stream + ping-pong halves) but pumped with
+/// bounded `run_until` steps instead of per-round `run_until_idle`, so
+/// the traffic is in flight *while* the churn schedule fires — a
+/// quiesce would fast-forward through every link event before the
+/// first packet launches.
+fn run_churn_workload(cfg: MachineConfig) -> Observation {
+    let pages = 8u64;
+    let mut cfg = cfg;
+    cfg.pages_per_node = 4 * 256;
+    let mut m = Machine::new(cfg);
+
+    let s = m.create_process(NodeId(0));
+    let r = m.create_process(NodeId(1));
+    let data_va = m.alloc_pages(NodeId(0), s, pages).expect("alloc");
+    let rcv_va = m.alloc_pages(NodeId(1), r, pages).expect("alloc");
+    let export = m
+        .export_buffer(NodeId(1), r, rcv_va, pages, Some(NodeId(0)))
+        .expect("export");
+    m.map(MapRequest {
+        src_node: NodeId(0),
+        src_pid: s,
+        src_va: data_va,
+        dst_node: NodeId(1),
+        export,
+        dst_offset: 0,
+        len: pages * PAGE_SIZE,
+        policy: UpdatePolicy::Deliberate,
+    })
+    .expect("map");
+    let mut cmd_delta = 0u32;
+    for p in 0..pages {
+        let cmd = m
+            .map_command_page(NodeId(0), s, data_va.add(p * PAGE_SIZE))
+            .expect("command page");
+        if p == 0 {
+            cmd_delta = (cmd.raw() - data_va.raw()) as u32;
+        }
+    }
+    let payload: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
+    m.poke(NodeId(0), s, data_va, &payload).expect("fill");
+
+    let a = m.create_process(NodeId(2));
+    let b = m.create_process(NodeId(3));
+    let a_buf = m.alloc_pages(NodeId(2), a, 1).expect("alloc");
+    let b_buf = m.alloc_pages(NodeId(3), b, 1).expect("alloc");
+    let a_export = m
+        .export_buffer(NodeId(2), a, a_buf, 1, Some(NodeId(3)))
+        .expect("export");
+    let b_export = m
+        .export_buffer(NodeId(3), b, b_buf, 1, Some(NodeId(2)))
+        .expect("export");
+    m.map(MapRequest {
+        src_node: NodeId(2),
+        src_pid: a,
+        src_va: a_buf,
+        dst_node: NodeId(3),
+        export: b_export,
+        dst_offset: 0,
+        len: PAGE_SIZE,
+        policy: UpdatePolicy::AutomaticSingle,
+    })
+    .expect("map a->b");
+    m.map(MapRequest {
+        src_node: NodeId(3),
+        src_pid: b,
+        src_va: b_buf,
+        dst_node: NodeId(2),
+        export: a_export,
+        dst_offset: 0,
+        len: PAGE_SIZE,
+        policy: UpdatePolicy::AutomaticSingle,
+    })
+    .expect("map b->a");
+
+    m.clear_deliveries();
+
+    let program = shrimp::msglib::deliberate_stream_program();
+    m.load_program(NodeId(0), s, program);
+    m.set_reg(NodeId(0), s, Reg::R5, data_va.raw() as u32);
+    m.set_reg(NodeId(0), s, Reg::R7, cmd_delta);
+    m.set_reg(NodeId(0), s, Reg::R3, pages as u32);
+    m.set_reg(NodeId(0), s, Reg::R2, (PAGE_SIZE / 4) as u32);
+    m.set_reg(NodeId(0), s, Reg::R4, (PAGE_SIZE / 4) as u32);
+    m.start(NodeId(0), s);
+
+    // Ping-pong in 25 µs steps: the step boundary is wall-clock-bounded
+    // (not idle-bounded), so links die and heal *between* pokes while
+    // stream and ping-pong packets are still in the fabric.
+    for i in 0..16u32 {
+        m.poke(NodeId(2), a, a_buf.add((i as u64 % 64) * 4), &i.to_le_bytes())
+            .expect("ping");
+        m.poke(NodeId(3), b, b_buf.add((i as u64 % 64) * 4), &(!i).to_le_bytes())
+            .expect("pong");
+        m.run_until(m.now() + SimDuration::from_us(25));
+    }
+    m.run_until_idle().expect("churned workload drains");
+
+    let dest_mem = vec![
+        m.peek(NodeId(1), r, rcv_va, pages * PAGE_SIZE).expect("peek stream dst"),
+        m.peek(NodeId(3), b, b_buf, PAGE_SIZE).expect("peek pong dst"),
+        m.peek(NodeId(2), a, a_buf, PAGE_SIZE).expect("peek ping dst"),
+    ];
+    Observation {
+        deliveries: m.deliveries().to_vec(),
+        nic_stats: (0..4u16).map(|n| m.nic_stats(NodeId(n))).collect(),
+        mesh_stats: m.mesh_stats().clone(),
+        events_processed: m.events_processed(),
+        final_time: m.now(),
+        dest_mem,
+    }
+}
+
+/// The tentpole regression: with every link dying and healing mid-run,
+/// packets caught in flight are bounced back to their source NIC,
+/// retransmitted by go-back-N, and delivered exactly once — the
+/// destination memory and delivery count match a churn-free run, and
+/// the same seed reproduces the identical observation.
+#[test]
+fn churn_bounces_retransmits_and_delivers_exactly_once() {
+    let ideal = run_churn_workload(chaos_config(FaultConfig::default()));
+    let churned = run_churn_workload(chaos_config(churn_faults(38)));
+    let again = run_churn_workload(chaos_config(churn_faults(38)));
+
+    assert_eq!(
+        churned.dest_mem, ideal.dest_mem,
+        "churn corrupted destination memory"
+    );
+    assert_eq!(
+        churned.deliveries.len(),
+        ideal.deliveries.len(),
+        "churn duplicated or lost a delivery"
+    );
+    assert_eq!(churned, again, "same churn seed must reproduce the same run");
+
+    assert!(churned.mesh_stats.reroutes > 0, "no adaptive reroutes observed");
+    assert!(churned.mesh_stats.bounced > 0, "no packet was ever bounced");
+    assert_eq!(
+        churned.mesh_stats.packets_injected, churned.mesh_stats.packets_ejected,
+        "every packet (including bounced ones) must leave the fabric"
+    );
+    assert_eq!(churned.mesh_stats.packets_dropped, 0, "a bounce is not a drop");
+    let bounces: u64 = churned.nic_stats.iter().map(|n| n.gbn_bounces).sum();
+    let retries: u64 = churned.nic_stats.iter().map(|n| n.retransmissions).sum();
+    assert!(bounces > 0, "no NIC saw a bounced frame");
+    assert!(retries > 0, "bounced data was never retransmitted");
+}
+
+/// Worker-sweep byte-identity must hold while the topology churns: the
+/// epoch-stamped link events live in the mesh event queue, so the
+/// parallel engine's lookahead windows clamp on them like any other
+/// external event.
+#[test]
+fn churned_worker_sweep_is_bit_identical() {
+    let run = |workers: usize| {
+        let mut cfg = chaos_config(churn_faults(38));
+        cfg.workers = workers;
+        run_churn_workload(cfg)
+    };
+    let obs0 = run(1);
+    assert!(
+        obs0.mesh_stats.reroutes > 0 && obs0.mesh_stats.bounced > 0,
+        "churn must actually bite for this sweep to mean anything"
+    );
+    for workers in [2usize, 4, 8] {
+        let obs = run(workers);
+        assert_eq!(obs, obs0, "churned run drifted at workers={workers}");
+    }
+}
+
 /// Retransmission alone (no faults) must not change what the machine
 /// delivers — only add ack traffic.
 #[test]
@@ -551,4 +738,3 @@ fn retx_without_faults_delivers_identically() {
         "retx must not duplicate or lose deliveries"
     );
 }
-

@@ -68,6 +68,31 @@ fn golden_faulted() {
     check_golden("faulted", 0x5847_1dfe_84a5_26ce, 201, 54);
 }
 
+/// Link churn: every directed link of the mesh dies and heals twice
+/// mid-run while all four session kinds are in flight, and the run
+/// still replays byte-identically across the worker sweep.
+#[test]
+fn golden_churn() {
+    check_golden("churn", 0x3c54_e4dc_1aa2_253a, 425, 172);
+}
+
+/// The churn scenario must actually exercise the adaptive path: the
+/// mesh reports reroutes (and the counters surface in the snapshot).
+#[test]
+fn churn_scenario_reroutes() {
+    let sc = load("churn");
+    let (report, m) = run_scenario_observed(&sc, Some(1)).unwrap();
+    assert_eq!(report.sessions_completed, sc.total_sessions());
+    let stats = m.mesh_stats();
+    assert!(stats.reroutes > 0, "expected adaptive reroutes under churn");
+    assert_eq!(report.metrics.counter("mesh.reroutes"), Some(stats.reroutes));
+    assert_eq!(report.metrics.counter("mesh.bounced"), Some(stats.bounced));
+    assert_eq!(
+        stats.packets_injected, stats.packets_ejected,
+        "every packet (including bounced ones) leaves the fabric"
+    );
+}
+
 /// The acceptance workload: 10k sessions of all four kinds on a 4x4
 /// mesh replay byte-identically across `SHRIMP_WORKERS={1,8}`.
 /// Release-only — debug builds take minutes.
@@ -83,6 +108,39 @@ fn mixed10k_replays_across_worker_counts() {
     assert_eq!(b.delivery_hash, a.delivery_hash);
     assert_eq!(b.events_processed, a.events_processed);
     assert_eq!(b.metrics.to_json(), a.metrics.to_json());
+}
+
+/// Acceptance soak: on a 4×4 mesh every directed link fails and
+/// repairs exactly once (`times=1` schedules one down/up window per
+/// link by construction) while all four session kinds run. The run
+/// must complete with byte-identical deliveries and metrics across
+/// workers {1, 8}, and the mesh must report adaptive reroutes —
+/// proof the dynamic-topology path was actually exercised.
+#[test]
+#[ignore = "churn soak; run with --ignored in CI"]
+fn churn_soak_every_link_fails_once() {
+    let text = "\
+scenario churn_soak
+mesh 4x4
+seed 4242
+pages 768
+users 8
+link fail=20us..200us repair=5us..40us times=1
+session rpc count=8 src=any dst=any requests=3 request=256 response=512 think=1us..20us server=1us..8us
+session stream count=8 src=any dst=any pages=2 gap=1us..6us
+session fanout count=4 src=any leaves=3 rounds=2 bytes=512 think=2us..10us
+session dsm count=8 src=any dst=any pages=2 ops=4 write=32 think=1us..8us
+";
+    let sc = Scenario::parse(text).expect("soak scenario is valid");
+    let (a, ma) = run_scenario_observed(&sc, Some(1)).expect("soak w=1");
+    let (b, _) = run_scenario_observed(&sc, Some(8)).expect("soak w=8");
+    assert_eq!(a.sessions_completed, sc.total_sessions());
+    assert_eq!(b.delivery_hash, a.delivery_hash, "delivery hash diverged at workers=8");
+    assert_eq!(b.events_processed, a.events_processed, "event count diverged at workers=8");
+    assert_eq!(b.metrics.to_json(), a.metrics.to_json(), "metrics diverged at workers=8");
+    let stats = ma.mesh_stats();
+    assert!(stats.reroutes > 0, "soak never took an adaptive route");
+    assert_eq!(stats.packets_injected, stats.packets_ejected);
 }
 
 /// Per-delivery latency stages must telescope exactly to the
