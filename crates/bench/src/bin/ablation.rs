@@ -350,7 +350,18 @@ fn sched_study() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    // First positional argument that is not the shared
+    // `--metrics-out <path>` flag pair.
+    let mut args = std::env::args().skip(1);
+    let mut arg = None;
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            args.next();
+            continue;
+        }
+        arg = Some(a);
+        break;
+    }
     match arg.as_deref() {
         Some("merge") => merge_study(),
         Some("fifo") => fifo_study(),

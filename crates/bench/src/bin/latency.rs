@@ -54,8 +54,8 @@ fn one_word_latency(cfg: MachineConfig, dst: NodeId) -> f64 {
 /// on and returns the machine for stage decomposition.
 fn traced_burst(mut cfg: MachineConfig, dst: NodeId, words: u64) -> Machine {
     cfg.telemetry = TelemetryConfig {
-        trace_level: None,
         latency: true,
+        ..TelemetryConfig::default()
     };
     let mut m = Machine::new(cfg);
     let s = m.create_process(NodeId(0));

@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use shrimp_bench::{alloc_stats, banner, write_metrics};
 use shrimp_core::{DeliveryRecord, Machine, MachineConfig, MapRequest};
+use shrimp_sim::{BarrierCause, WindowStats};
 use shrimp_cpu::Reg;
 use shrimp_mem::PAGE_SIZE;
 use shrimp_mesh::{MeshShape, NodeId};
@@ -250,9 +251,11 @@ fn latency_workload(rounds: u64) -> Sample {
 /// started at the same instant, so eligible events land on shared
 /// lookahead windows across distinct nodes — the shape the conservative
 /// parallel engine batches. Returns the measurement, the number of
-/// window batches the engine shipped (0 when `workers == 1`), and the
-/// delivery-log fingerprint for cross-worker-count comparison.
-fn scaling_workload(dim: u16, workers: usize, pages: u64) -> (Sample, u64, u64) {
+/// window batches the engine shipped, the delivery-log fingerprint for
+/// cross-worker-count comparison, and the window telemetry (window
+/// formation runs at every worker count, so the barrier-cause counters
+/// must also be worker-invariant).
+fn scaling_workload(dim: u16, workers: usize, pages: u64) -> (Sample, u64, u64, WindowStats) {
     let n = dim as usize * dim as usize;
     let mut cfg = MachineConfig::prototype(MeshShape::new(dim, dim));
     cfg.workers = workers;
@@ -346,6 +349,7 @@ fn scaling_workload(dim: u16, workers: usize, pages: u64) -> (Sample, u64, u64) 
         },
         m.parallel_batches(),
         hash,
+        m.window_stats().clone(),
     )
 }
 
@@ -377,8 +381,8 @@ fn json_field(s: &Sample) -> String {
 fn smoke() {
     banner("simspeed --smoke: 32x32 scaling determinism check");
     const FLOOR_EVENTS_PER_SEC: f64 = 25_000.0;
-    let (s1, _, h1) = scaling_workload(32, 1, 1);
-    let (s8, b8, h8) = scaling_workload(32, 8, 1);
+    let (s1, b1, h1, w1) = scaling_workload(32, 1, 2);
+    let (s8, b8, h8, w8) = scaling_workload(32, 8, 2);
     for s in [&s1, &s8] {
         println!(
             "{:<14} {:>10.4}s {:>12} events {:>14.0} ev/s",
@@ -388,15 +392,37 @@ fn smoke() {
             s.events_per_sec(),
         );
     }
-    println!("windows shipped at workers=8: {b8}");
+    println!("windows shipped: workers=1 {b1}, workers=8 {b8}");
     assert_eq!(h1, h8, "delivery hash diverged between workers=1 and workers=8");
     assert_eq!(s1.events, s8.events, "event count diverged between worker counts");
+
+    // The barrier-cause breakdown is deterministic window telemetry:
+    // it must be worker-invariant, it must sum to the total windows
+    // closed, and a mesh-saturating ring must show mesh-event clamps.
+    println!("\nbarrier causes (worker-invariant):");
+    let mut sum = 0;
+    for cause in BarrierCause::ALL {
+        assert_eq!(
+            w1.closes(cause),
+            w8.closes(cause),
+            "engine.barrier.{} diverged between worker counts",
+            cause.name(),
+        );
+        sum += w1.closes(cause);
+        println!("  engine.barrier.{:<18} {}", cause.name(), w1.closes(cause));
+    }
+    assert_eq!(sum, w1.total_closed(), "per-cause counters must sum to windows closed");
+    assert!(
+        w1.closes(BarrierCause::MeshEventClamp) > 0,
+        "a mesh-heavy ring must clamp windows on pending mesh events"
+    );
+
     assert!(
         s1.events_per_sec() >= FLOOR_EVENTS_PER_SEC,
         "workers=1 throughput {:.0} ev/s fell below the {FLOOR_EVENTS_PER_SEC} floor",
         s1.events_per_sec(),
     );
-    println!("smoke OK: hashes match, {} events, floor cleared", s1.events);
+    println!("\nsmoke OK: hashes match, {} events, floor cleared", s1.events);
 }
 
 fn main() {
@@ -446,14 +472,14 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>14} {:>10} {:>10}",
         "workers", "wall s", "events", "events/s", "batches", "allocs/ev"
     );
-    let sweep: Vec<(usize, Sample, u64, u64)> = [1usize, 2, 4, 8, 16]
+    let sweep: Vec<(usize, Sample, u64, u64, WindowStats)> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .map(|w| {
-            let (s, batches, hash) = scaling_workload(32, w, 2);
-            (w, s, batches, hash)
+            let (s, batches, hash, stats) = scaling_workload(32, w, 2);
+            (w, s, batches, hash, stats)
         })
         .collect();
-    for (w, s, batches, hash) in &sweep {
+    for (w, s, batches, hash, _) in &sweep {
         println!(
             "{:<10} {:>10.4} {:>12} {:>14.0} {:>10} {:>10.3}",
             w,
@@ -477,7 +503,7 @@ fn main() {
     // comparable across revisions.
     let body = samples
         .iter()
-        .chain(sweep.iter().map(|(_, s, _, _)| s))
+        .chain(sweep.iter().map(|(_, s, _, _, _)| s))
         .map(json_field)
         .collect::<Vec<_>>()
         .join(",\n");
@@ -498,7 +524,7 @@ fn main() {
         reg.set_gauge(format!("{p}.sim_bytes_per_sec"), s.sim_bytes_per_sec());
         reg.set_gauge(format!("{p}.allocs_per_event"), s.allocs_per_event());
     }
-    for (w, s, batches, _) in &sweep {
+    for (w, s, batches, _, _) in &sweep {
         let p = format!("simspeed.scaling1k.workers{w}");
         reg.set_gauge(format!("{p}.wall_seconds"), s.wall_seconds);
         reg.set_counter(format!("{p}.events"), s.events);
@@ -506,5 +532,8 @@ fn main() {
         reg.set_counter(format!("{p}.batches"), *batches);
         reg.set_gauge(format!("{p}.allocs_per_event"), s.allocs_per_event());
     }
+    // The ring's barrier-cause breakdown — worker-invariant, so the
+    // first sweep leg speaks for all of them (asserted in --smoke).
+    sweep[0].4.register(&mut reg);
     write_metrics("simspeed", &reg.snapshot());
 }

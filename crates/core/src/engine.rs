@@ -37,8 +37,11 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use shrimp_sim::SimTime;
 
@@ -68,6 +71,19 @@ pub(crate) struct ExecRec {
     pub act_len: u32,
 }
 
+/// Why one node's window slice stopped before `w_end` (the first
+/// barrier condition hit, with a fixed in-record priority so the
+/// attribution is deterministic for any worker count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SliceClose {
+    /// The record raised a fault action.
+    Fault,
+    /// The record was a §4.4 kernel message.
+    KernelMsg,
+    /// The record scheduled a mesh-coupled wakeup inside the window.
+    MeshWakeup,
+}
+
 /// Everything one node did during a window, in a replayable form.
 #[derive(Debug, Default)]
 pub(crate) struct NodeWindowOutcome {
@@ -83,6 +99,8 @@ pub(crate) struct NodeWindowOutcome {
     /// Drained entries the node did *not* execute (its window closed
     /// early); re-queued under their original sequence numbers.
     pub leftovers: Vec<WindowEntry>,
+    /// Why this slice stopped early, when it did (window telemetry).
+    pub close: Option<SliceClose>,
 }
 
 /// Executes one node's slice of a lookahead window `[entries[0].0,
@@ -127,6 +145,7 @@ pub(crate) fn execute_window(
         }
         let act_start = out.actions.len() as u32;
         let mut barrier = kernel_msg;
+        let mut fault_here = false;
         for action in fx.actions.drain(..) {
             let act_idx = out.actions.len() as u32;
             if let Action::Push { at, node: dst, ev } = &action {
@@ -150,6 +169,7 @@ pub(crate) fn execute_window(
                 // process and reschedule); nothing of this node may run
                 // until the commit has replayed it.
                 barrier = true;
+                fault_here = true;
             }
             out.actions.push(Some(action));
             out.child_of.push(-1);
@@ -163,6 +183,15 @@ pub(crate) fn execute_window(
             act_len: out.actions.len() as u32 - act_start,
         });
         if barrier {
+            // Fixed in-record priority keeps the attribution
+            // deterministic when one record trips several conditions.
+            out.close = Some(if fault_here {
+                SliceClose::Fault
+            } else if kernel_msg {
+                SliceClose::KernelMsg
+            } else {
+                SliceClose::MeshWakeup
+            });
             // Un-mirror children queued by this very record: a barrier
             // record's pushes all become real queue pushes.
             for i in act_start as usize..out.actions.len() {
@@ -199,6 +228,9 @@ pub(crate) struct WorkerPool {
     results: Receiver<(usize, NodeWindowOutcome)>,
     handles: Vec<JoinHandle<()>>,
     next: usize,
+    /// Wall nanoseconds worker threads spent inside `execute_window`,
+    /// accumulated only when profiling is on (stays 0 otherwise).
+    busy_ns: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -211,23 +243,30 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers - 1` threads, each holding its own copy of the
-    /// machine configuration.
-    pub(crate) fn new(workers: usize, config: MachineConfig) -> Self {
+    /// machine configuration. With `profile` on, workers time their
+    /// `execute_window` calls into a shared busy-nanoseconds counter.
+    pub(crate) fn new(workers: usize, config: MachineConfig, profile: bool) -> Self {
         let spawned = workers.saturating_sub(1);
         let (result_tx, results) = channel::<(usize, NodeWindowOutcome)>();
+        let busy_ns = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(spawned);
         let mut handles = Vec::with_capacity(spawned);
         for i in 0..spawned {
             let (tx, rx) = channel::<Job>();
             let out = result_tx.clone();
+            let busy = Arc::clone(&busy_ns);
             let handle = std::thread::Builder::new()
                 .name(format!("shrimp-worker-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        let t0 = profile.then(Instant::now);
                         // SAFETY: per the pool contract the pointer is
                         // valid and unaliased until the result is sent.
                         let node = unsafe { &mut *job.node.0 };
                         let oc = execute_window(node, &config, job.entries, job.w_end);
+                        if let Some(t0) = t0 {
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
                         if out.send((job.slot, oc)).is_err() {
                             break;
                         }
@@ -242,7 +281,14 @@ impl WorkerPool {
             results,
             handles,
             next: 0,
+            busy_ns,
         }
+    }
+
+    /// Wall nanoseconds workers have spent executing window slices
+    /// (0 unless the pool was built with profiling on).
+    pub(crate) fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
     }
 
     /// Ships one window participant to a worker thread (round-robin).
@@ -295,7 +341,7 @@ mod tests {
     fn pool_executes_on_distinct_nodes_and_joins() {
         let config = MachineConfig::two_nodes();
         let mut nodes: Vec<Node> = (0..2).map(|i| Node::new(NodeId(i), &config)).collect();
-        let mut pool = WorkerPool::new(3, config);
+        let mut pool = WorkerPool::new(3, config, false);
         let base = nodes.as_mut_ptr();
         for slot in 0..2 {
             let entries = vec![(SimTime::ZERO, slot as u64, NodeEvent::CpuStep)];
@@ -330,5 +376,6 @@ mod tests {
         assert_eq!(oc.records[1].time, SimTime::from_picos(50));
         assert!(oc.leftovers.is_empty());
         assert_eq!(oc.actions.len(), oc.child_of.len());
+        assert!(oc.close.is_none(), "a full slice has no early-close cause");
     }
 }

@@ -27,13 +27,14 @@ use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, ShrimpPac
 use shrimp_os::kernel::OutgoingRecord;
 use shrimp_os::{ExportId, Kernel, OsError, Pid};
 use shrimp_sim::{
-    step, to_chrome_json, Component, ComponentId, Histogram, MetricsRegistry, MetricsSnapshot,
-    Scheduler, SimDuration, SimHost, SimTime, StepBound, StepOutcome, TraceData, TraceEvent,
-    TraceLevel, Tracer,
+    step, to_chrome_json_with_counters, BarrierCause, Component, ComponentId, CounterSample,
+    EnginePhase, EngineProfileReport, EngineProfiler, FlightEntry, FlightRecorder, Histogram,
+    MetricsRegistry, MetricsSnapshot, Scheduler, SimDuration, SimHost, SimTime, StepBound,
+    StepOutcome, TraceData, TraceEvent, TraceLevel, Tracer, WindowStats,
 };
 
 use crate::config::MachineConfig;
-use crate::engine::{execute_window, NodeWindowOutcome, WindowEntry, WorkerPool};
+use crate::engine::{execute_window, NodeWindowOutcome, SliceClose, WindowEntry, WorkerPool};
 use crate::error::MachineError;
 use crate::node::{Action, Node, NodeEffects, NodeEvent};
 
@@ -253,9 +254,22 @@ pub struct Machine {
     /// Per-node window slot (-1 = not participating), reused across
     /// windows.
     slot_of: Vec<i32>,
-    /// Lookahead windows shipped to the worker pool (0 in sequential
-    /// mode).
+    /// Lookahead windows executed (worker-invariant: windows form
+    /// identically at every worker count; with one worker the slices
+    /// just run inline).
     batches_run: u64,
+    /// Deterministic window telemetry: per-cause close counters and
+    /// window-shape histograms (worker-invariant; see DESIGN.md §5h).
+    win_stats: WindowStats,
+    /// Wall-clock phase attribution (never part of the deterministic
+    /// snapshot; see [`Machine::profile`]).
+    profiler: EngineProfiler,
+    /// Per-node rings of recent packet-lifecycle events, dumped on
+    /// panic or on demand. Pure observation of the serial path.
+    recorder: FlightRecorder,
+    /// Reused buffer for draining the mesh's flight log (avoids a
+    /// mesh/recorder double borrow and steady-state allocation).
+    scratch_flight: Vec<TraceEvent>,
 }
 
 impl Machine {
@@ -277,7 +291,10 @@ impl Machine {
         if let Some(level) = config.telemetry.trace_level {
             mesh.set_tracer(Tracer::new(level));
         }
-        let pool = (config.workers > 1).then(|| WorkerPool::new(config.workers, config));
+        mesh.set_flight_recording(config.telemetry.flight_recorder > 0);
+        let pool = (config.workers > 1)
+            .then(|| WorkerPool::new(config.workers, config, config.telemetry.profile));
+        let recorder = FlightRecorder::new(nodes.len(), config.telemetry.flight_recorder);
         let slot_of = vec![-1; nodes.len()];
         let armed = vec![0; nodes.len()];
         let node_events = vec![0; nodes.len()];
@@ -307,6 +324,10 @@ impl Machine {
             scratch_wakeups: NodeEffects::default(),
             slot_of,
             batches_run: 0,
+            win_stats: WindowStats::default(),
+            profiler: EngineProfiler::new(config.telemetry.profile),
+            recorder,
+            scratch_flight: Vec::new(),
         }
     }
 
@@ -322,12 +343,55 @@ impl Machine {
         &self.node_events
     }
 
-    /// Event batches shipped to the worker pool. Always 0 with
-    /// `workers == 1`; with more workers this confirms the parallel
-    /// engine actually engaged (it is deliberately NOT part of
-    /// [`Machine::metrics_snapshot`], which must be worker-invariant).
+    /// Lookahead windows executed. Window formation runs at every
+    /// worker count (with one worker the slices execute inline, with
+    /// more they fan out to the pool), so this — like the per-cause
+    /// close counters in [`Machine::window_stats`] — is worker-invariant
+    /// and confirms the window engine actually engaged.
     pub fn parallel_batches(&self) -> u64 {
         self.batches_run
+    }
+
+    /// Deterministic window telemetry: per-[`BarrierCause`] close
+    /// counters plus depth/participants/events-per-slice histograms.
+    /// Worker-invariant, and also published as `engine.windows.*` /
+    /// `engine.barrier.*` / `engine.window.*` in
+    /// [`Machine::metrics_snapshot`] once any window has closed.
+    pub fn window_stats(&self) -> &WindowStats {
+        &self.win_stats
+    }
+
+    /// The wall-clock engine profile, when `telemetry.profile` is on.
+    /// Wall times vary run to run and worker count to worker count, so
+    /// they are deliberately NOT part of [`Machine::metrics_snapshot`]
+    /// (which must stay worker-invariant) — this report is the only way
+    /// out.
+    pub fn profile(&self) -> Option<EngineProfileReport> {
+        self.profiler.is_enabled().then(|| {
+            EngineProfileReport::new(
+                &self.profiler,
+                self.config.workers,
+                self.pool.as_ref().map_or(0, WorkerPool::busy_ns),
+            )
+        })
+    }
+
+    /// The causal flight recorder (recent packet-lifecycle events).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Renders the flight recorder's retained events — the same text
+    /// printed when a run panics.
+    pub fn flight_dump(&self) -> String {
+        self.recorder.render()
+    }
+
+    /// The retained causal trail of packets on the lane `src → dst`:
+    /// inject → route/reroute/bounce → eject → deliver, `(time, seq)`
+    /// sorted.
+    pub fn packet_trail(&self, src: NodeId, dst: NodeId) -> Vec<FlightEntry> {
+        self.recorder.trail(src.0, dst.0)
     }
 
     /// The configuration in force.
@@ -861,12 +925,20 @@ impl Machine {
     // ──────────────────────────── event loop ─────────────────────────────
 
     /// Runs until `limit`, processing machine and mesh events in time
-    /// order.
+    /// order. If anything panics mid-run (an assertion deep in a
+    /// component, say), the flight recorder's recent events are dumped
+    /// to stderr before the panic resumes.
     pub fn run_until(&mut self, limit: SimTime) {
         self.window_enabled = true;
         self.window_limit = Some(limit);
         let bound = StepBound::until(limit);
-        while step(self, bound) == StepOutcome::Ran {}
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while step(self, bound) == StepOutcome::Ran {}
+        }));
+        if let Err(payload) = run {
+            self.dump_flight_on_panic();
+            std::panic::resume_unwind(payload);
+        }
         self.window_enabled = false;
         self.window_limit = None;
         self.sched.advance_clock(limit);
@@ -891,21 +963,38 @@ impl Machine {
         const MAX_IDLE_STEPS: u64 = 50_000_000;
         self.window_enabled = true;
         self.window_limit = None;
-        let mut steps = 0u64;
-        loop {
-            steps += 1;
-            if steps > MAX_IDLE_STEPS {
-                self.window_enabled = false;
-                return Err(MachineError::NoQuiescence);
-            }
-            match step(self, StepBound::unbounded()) {
-                StepOutcome::Idle => {
-                    self.window_enabled = false;
-                    return Ok(());
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut steps = 0u64;
+            loop {
+                steps += 1;
+                if steps > MAX_IDLE_STEPS {
+                    return Err(MachineError::NoQuiescence);
                 }
-                StepOutcome::Ran => {}
-                StepOutcome::PastLimit => unreachable!("unbounded step has no limit"),
+                match step(self, StepBound::unbounded()) {
+                    StepOutcome::Idle => return Ok(()),
+                    StepOutcome::Ran => {}
+                    StepOutcome::PastLimit => unreachable!("unbounded step has no limit"),
+                }
             }
+        }));
+        match run {
+            Ok(result) => {
+                self.window_enabled = false;
+                result
+            }
+            Err(payload) => {
+                self.dump_flight_on_panic();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Prints the flight recorder's retained events to stderr; called on
+    /// the panic path of the run wrappers so a failing assertion ships
+    /// its causal context.
+    fn dump_flight_on_panic(&self) {
+        if self.recorder.is_enabled() && self.recorder.recorded() > 0 {
+            eprintln!("{}", self.recorder.render());
         }
     }
 
@@ -949,7 +1038,9 @@ impl Machine {
     }
 
     /// Routes one popped event: through a lookahead window when the
-    /// parallel engine applies, inline otherwise.
+    /// window engine applies, inline otherwise. Windows form at every
+    /// worker count — with one worker the slices execute inline on this
+    /// thread — so the window/barrier telemetry is worker-invariant.
     fn dispatch_event(&mut self, t: SimTime, ev: Event) {
         // A window is sound only when no §4.4 invalidation is armed
         // anywhere (an armed node's write fault reaches across nodes
@@ -957,14 +1048,24 @@ impl Machine {
         // KernelMsg touch only their own node, while DmaComplete pumps
         // the whole network and the wakeup events touch the mesh
         // (DESIGN.md §5e).
-        if self.pool.is_some()
-            && self.window_enabled
-            && self.armed_total == 0
+        if self.window_enabled
             && matches!(ev.ev, NodeEvent::CpuStep | NodeEvent::KernelMsg { .. })
         {
-            if let Some(w_end) = self.window_end(t) {
-                self.run_window(t, ev, w_end);
-                return;
+            if self.armed_total == 0 {
+                match self.window_end(t) {
+                    Ok((w_end, clamp)) => {
+                        self.run_window(t, ev, w_end, clamp);
+                        return;
+                    }
+                    // The window could not even open (a mesh event is
+                    // due at or before `t`): a zero-length close, with
+                    // the clamp as its cause.
+                    Err(cause) => self.win_stats.note_close(cause),
+                }
+            } else {
+                // Refused outright: an armed invalidation somewhere
+                // keeps every window closed.
+                self.win_stats.note_close(BarrierCause::ArmedInvalidation);
             }
         }
         self.node_events[ev.node as usize] += 1;
@@ -974,17 +1075,32 @@ impl Machine {
     /// The exclusive end of a lookahead window opening at `t`: the
     /// static bound `t + L`, clamped to the next mesh event (the mesh
     /// must advance before anything at or after it) and the run bound.
-    /// `None` when the window would be empty.
-    fn window_end(&self, t: SimTime) -> Option<SimTime> {
+    /// `Ok` carries the end plus what bounded it (for barrier-cause
+    /// attribution); `Err` carries the cause when the window would be
+    /// empty. Strict `<` comparisons keep the computed end identical to
+    /// a plain three-way `min`.
+    fn window_end(&self, t: SimTime) -> Result<(SimTime, BarrierCause), BarrierCause> {
         let mut w = t + self.config.lookahead();
+        let mut cause = BarrierCause::Horizon;
         if let Some(mt) = Component::next_event_time(&self.mesh) {
-            w = w.min(mt);
+            if mt < w {
+                w = mt;
+                cause = BarrierCause::MeshEventClamp;
+            }
         }
         if let Some(limit) = self.window_limit {
             // Events *at* the limit may still run.
-            w = w.min(limit + SimDuration::from_picos(1));
+            let l = limit + SimDuration::from_picos(1);
+            if l < w {
+                w = l;
+                cause = BarrierCause::LimitClamp;
+            }
         }
-        (w > t).then_some(w)
+        if w > t {
+            Ok((w, cause))
+        } else {
+            Err(cause)
+        }
     }
 
     /// Runs one lookahead window `[t, w_end)`: drains every windowable
@@ -992,11 +1108,12 @@ impl Machine {
     /// worker pool, then replays all recorded consequences in exact
     /// global `(time, seq)` order so the machine state, queue and logs
     /// evolve byte-identically to sequential execution (DESIGN.md §5e).
-    fn run_window(&mut self, t: SimTime, first: Event, w_end: SimTime) {
+    fn run_window(&mut self, t: SimTime, first: Event, w_end: SimTime, clamp: BarrierCause) {
         self.batches_run += 1;
         let first_seq = self.sched.last_popped_seq();
 
         // ── Formation: group drained events per node, drain order. ──
+        let p_form = self.profiler.begin();
         let mut tasks: Vec<(u16, Vec<WindowEntry>)> = Vec::new();
         self.slot_of[first.node as usize] = 0;
         tasks.push((first.node, vec![(t, first_seq, first.ev)]));
@@ -1017,43 +1134,96 @@ impl Machine {
         for &(node, _) in &tasks {
             self.slot_of[node as usize] = -1;
         }
+        self.profiler.end(EnginePhase::Formation, p_form);
 
-        // ── Execution: ship slots 1.. to workers, run slot 0 here. ──
+        // ── Execution: ship slots 1.. to workers, run slot 0 here
+        // (with one worker there is no pool: every slice runs inline,
+        // which is byte-identical — slices of one window are causally
+        // independent by construction). ──
+        let p_exec = self.profiler.begin();
         let n = tasks.len();
         let mut outcomes: Vec<Option<NodeWindowOutcome>> = (0..n).map(|_| None).collect();
         let mut owners: Vec<u16> = Vec::with_capacity(n);
         {
-            let base = self.nodes.as_mut_ptr();
-            let pool = self.pool.as_mut().expect("checked by dispatch_event");
             let mut it = tasks.into_iter();
             let (first_node, first_entries) = it.next().expect("window has a lead");
             owners.push(first_node);
-            for (slot, (node, entries)) in it.enumerate() {
-                owners.push(node);
-                // SAFETY: window nodes are pairwise distinct
-                // (`slot_of`), the Vec is not resized while jobs are in
-                // flight, and all results are received below before the
-                // nodes are touched.
-                unsafe { pool.submit(slot + 1, base.add(node as usize), entries, w_end) };
-            }
-            outcomes[0] = Some(execute_window(
-                &mut self.nodes[first_node as usize],
-                &self.config,
-                first_entries,
-                w_end,
-            ));
-            let pool = self.pool.as_ref().expect("checked above");
-            for _ in 1..n {
-                let (slot, oc) = pool.recv();
-                outcomes[slot] = Some(oc);
+            if let Some(pool) = self.pool.as_mut() {
+                let base = self.nodes.as_mut_ptr();
+                for (slot, (node, entries)) in it.enumerate() {
+                    owners.push(node);
+                    // SAFETY: window nodes are pairwise distinct
+                    // (`slot_of`), the Vec is not resized while jobs are
+                    // in flight, and all results are received below
+                    // before the nodes are touched.
+                    unsafe { pool.submit(slot + 1, base.add(node as usize), entries, w_end) };
+                }
+                outcomes[0] = Some(execute_window(
+                    &mut self.nodes[first_node as usize],
+                    &self.config,
+                    first_entries,
+                    w_end,
+                ));
+                for _ in 1..n {
+                    let (slot, oc) = pool.recv();
+                    outcomes[slot] = Some(oc);
+                }
+            } else {
+                outcomes[0] = Some(execute_window(
+                    &mut self.nodes[first_node as usize],
+                    &self.config,
+                    first_entries,
+                    w_end,
+                ));
+                for (slot, (node, entries)) in it.enumerate() {
+                    owners.push(node);
+                    outcomes[slot + 1] = Some(execute_window(
+                        &mut self.nodes[node as usize],
+                        &self.config,
+                        entries,
+                        w_end,
+                    ));
+                }
             }
         }
         let mut outcomes: Vec<NodeWindowOutcome> = outcomes
             .into_iter()
             .map(|o| o.expect("one outcome per slot"))
             .collect();
+        self.profiler.end(EnginePhase::Execution, p_exec);
+
+        // Window telemetry: what closed this window, and its shape.
+        // The slice-close set is deterministic (each slice's cause
+        // depends only on that node's events), so the attribution is
+        // worker-invariant: any slice barrier outranks the clamp, with
+        // a fixed Fault > KernelMsg > MeshWakeup priority across
+        // slices.
+        let (mut fault, mut kmsg, mut wake) = (false, false, false);
+        for oc in &outcomes {
+            match oc.close {
+                Some(SliceClose::Fault) => fault = true,
+                Some(SliceClose::KernelMsg) => kmsg = true,
+                Some(SliceClose::MeshWakeup) => wake = true,
+                None => {}
+            }
+        }
+        let cause = if fault {
+            BarrierCause::Fault
+        } else if kmsg {
+            BarrierCause::KernelMsg
+        } else if wake {
+            BarrierCause::MeshWakeup
+        } else {
+            clamp
+        };
+        self.win_stats.note_close(cause);
+        self.win_stats.participants.record(n as u64);
+        for oc in &outcomes {
+            self.win_stats.slice_events.record(oc.records.len() as u64);
+        }
 
         // ── Commit: replay in global (time, seq) order. ──
+        let p_commit = self.profiler.begin();
         // Unexecuted drained entries go back under their original
         // sequence numbers first, so the queue is whole before any
         // effect lands on it.
@@ -1121,6 +1291,8 @@ impl Machine {
         // The lead pop was already counted by the scheduler.
         self.sched.note_processed(executed - 1);
         self.sched.advance_clock(max_t);
+        self.win_stats.depth.record(executed);
+        self.profiler.end(EnginePhase::Commit, p_commit);
     }
 
     /// Executes one event on the machine thread (the sequential path,
@@ -1194,6 +1366,21 @@ impl Machine {
             match self.mesh.peek_ejection(node) {
                 Some(arrival) if arrival <= t => {
                     let (pkt, arrival) = self.mesh.eject(node).expect("peeked ejection");
+                    if self.recorder.is_enabled() {
+                        self.recorder.record(
+                            node.0 as usize,
+                            TraceEvent {
+                                time: arrival.max(t),
+                                level: TraceLevel::Info,
+                                component: ComponentId::nic(node.0),
+                                data: TraceData::PacketEjected {
+                                    src: pkt.src().0,
+                                    dst: pkt.dst().0,
+                                    bytes: pkt.wire_len() as u32,
+                                },
+                            },
+                        );
+                    }
                     let n = &mut self.nodes[node.0 as usize];
                     if let Err(e) = n.nic.accept_packet(arrival.max(t), pkt) {
                         self.drop_log.push((t, node, e));
@@ -1234,6 +1421,23 @@ impl Machine {
                                 dst: pkt.dst().0,
                                 bytes: inner.wire_len() as u32,
                                 seq: inner.link().map(|l| l.seq),
+                            },
+                        );
+                    }
+                    if self.recorder.is_enabled() {
+                        let inner = pkt.payload();
+                        self.recorder.record(
+                            node.0 as usize,
+                            TraceEvent {
+                                time: t,
+                                level: TraceLevel::Info,
+                                component: ComponentId::nic(node.0),
+                                data: TraceData::PacketInjected {
+                                    src: pkt.src().0,
+                                    dst: pkt.dst().0,
+                                    bytes: inner.wire_len() as u32,
+                                    seq: inner.link().map(|l| l.seq),
+                                },
                             },
                         );
                     }
@@ -1295,6 +1499,21 @@ impl Machine {
                             dma_start: grant.start,
                             dma_end: grant.end,
                         });
+                    }
+                    if self.recorder.is_enabled() {
+                        self.recorder.record(
+                            node.0 as usize,
+                            TraceEvent {
+                                time: grant.end,
+                                level: TraceLevel::Info,
+                                component: ComponentId::nic(node.0),
+                                data: TraceData::PacketDelivered {
+                                    src: delivery.src.0,
+                                    dst: node.0,
+                                    bytes: delivery.data.len() as u32,
+                                },
+                            },
+                        );
                     }
                     self.delivery_log.push(DeliveryRecord {
                         time: grant.end,
@@ -1619,18 +1838,50 @@ impl Machine {
             reg.set_histogram("latency.in_fifo", &self.telemetry.in_fifo);
             reg.set_histogram("latency.dma", &self.telemetry.dma);
         }
+        if self.win_stats.total_closed() > 0 {
+            // Window/barrier telemetry is worker-invariant (windows form
+            // identically at every worker count), so it may live in the
+            // deterministic snapshot; gating on nonzero keeps every
+            // pre-existing pinned snapshot byte-identical. Wall-clock
+            // engine.profile.* data is deliberately excluded — see
+            // Machine::profile.
+            self.win_stats.register(&mut reg);
+        }
         reg.snapshot()
     }
 
     /// Exports every recorded trace event (machine-level plus all NICs)
-    /// as a Chrome trace-event JSON document loadable in Perfetto.
+    /// as a Chrome trace-event JSON document loadable in Perfetto. With
+    /// profiling on, the engine's cumulative per-phase wall times ride
+    /// along as `engine.profile` counter-track samples.
     pub fn export_chrome_trace(&self) -> String {
         let mut events: Vec<TraceEvent> = self.tracer.events().to_vec();
         events.extend_from_slice(self.mesh.tracer().events());
         for n in &self.nodes {
             events.extend_from_slice(n.nic.tracer().events());
         }
-        to_chrome_json(&events)
+        let mut counters = Vec::new();
+        if let Some(report) = self.profile() {
+            let ts_us = self.now().as_picos() as f64 / 1e6;
+            for &(name, ns, _) in &report.phases {
+                counters.push(CounterSample {
+                    name: format!("engine.profile.{name}_ms"),
+                    ts_us,
+                    value: ns as f64 / 1e6,
+                });
+            }
+            counters.push(CounterSample {
+                name: "engine.profile.worker_busy_ms".into(),
+                ts_us,
+                value: report.worker_busy_ns as f64 / 1e6,
+            });
+            counters.push(CounterSample {
+                name: "engine.profile.worker_idle_ms".into(),
+                ts_us,
+                value: report.worker_idle_ns as f64 / 1e6,
+            });
+        }
+        to_chrome_json_with_counters(&events, &counters)
     }
 }
 
@@ -1653,8 +1904,29 @@ impl SimHost for Machine {
     }
 
     fn advance_external(&mut self, t: SimTime) {
+        // Sampled: this runs several times per simulated event, so
+        // exact per-call timing would cost more than the pump itself.
+        let p = self.profiler.begin_sampled(EnginePhase::MeshPump);
         Component::advance(&mut self.mesh, t);
+        if self.recorder.is_enabled() {
+            // Reroute/bounce decisions happen deep inside the mesh's
+            // advance; pull them into the per-node rings (keyed by the
+            // node where the decision was made).
+            let mut buf = std::mem::take(&mut self.scratch_flight);
+            self.mesh.drain_flight_into(&mut buf);
+            for ev in buf.drain(..) {
+                let at = match ev.data {
+                    TraceData::PacketRerouted { at, .. } | TraceData::PacketBounced { at, .. } => {
+                        at as usize
+                    }
+                    _ => 0,
+                };
+                self.recorder.record(at, ev);
+            }
+            self.scratch_flight = buf;
+        }
         self.pump_network(t);
+        self.profiler.end_sampled(EnginePhase::MeshPump, p);
     }
 
     fn dispatch(&mut self, t: SimTime, ev: Event) {

@@ -17,7 +17,8 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use shrimp_sim::fault::{FaultConfig, LinkFault, LinkFaultSite};
 use shrimp_sim::{
-    ComponentId, EventQueue, Histogram, SimDuration, SimTime, TraceData, TraceLevel, Tracer,
+    ComponentId, EventQueue, Histogram, SimDuration, SimTime, TraceData, TraceEvent, TraceLevel,
+    Tracer,
 };
 
 use crate::config::MeshConfig;
@@ -157,6 +158,11 @@ pub struct MeshNetwork<P = Bytes> {
     table: Option<RouteTable>,
     table_epoch: u64,
     tracer: Tracer,
+    /// When on, reroute/bounce decisions made inside [`Component::advance`]
+    /// are logged here for the host's flight recorder to drain. Pure
+    /// observation: it never affects routing or timing.
+    flight_enabled: bool,
+    flight_log: Vec<TraceEvent>,
 }
 
 impl<P: MeshPayload> MeshNetwork<P> {
@@ -193,6 +199,8 @@ impl<P: MeshPayload> MeshNetwork<P> {
             table: None,
             table_epoch: 0,
             tracer: Tracer::disabled(),
+            flight_enabled: false,
+            flight_log: Vec::new(),
         }
     }
 
@@ -237,6 +245,33 @@ impl<P: MeshPayload> MeshNetwork<P> {
     /// The mesh's tracer (link churn events).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Turns flight logging of reroute/bounce decisions on or off.
+    /// These happen deep inside `advance`, where the host cannot see
+    /// them; the log hands them to the host's flight recorder.
+    pub fn set_flight_recording(&mut self, on: bool) {
+        self.flight_enabled = on;
+        if !on {
+            self.flight_log.clear();
+        }
+    }
+
+    /// Moves all pending flight-log events into `out` (emission order).
+    pub fn drain_flight_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.flight_log);
+    }
+
+    #[inline]
+    fn flight(&mut self, time: SimTime, data: TraceData) {
+        if self.flight_enabled {
+            self.flight_log.push(TraceEvent {
+                time,
+                level: TraceLevel::Info,
+                component: ComponentId::MESH,
+                data,
+            });
+        }
     }
 
     /// True when the directed link `from` → its `dir` neighbor is up.
@@ -380,7 +415,7 @@ impl<P: MeshPayload> MeshNetwork<P> {
                         let link =
                             feeder.0 as usize * 4 + Direction::ALL[port].opposite().index();
                         if !self.link_up[link] {
-                            self.bounce(packet, t);
+                            self.bounce(packet, node, t);
                             continue;
                         }
                     }
@@ -507,7 +542,7 @@ impl<P: MeshPayload> MeshNetwork<P> {
                 }
                 self.routers[node.0 as usize].inputs[port].queue.pop_front();
                 self.wake_feeder(node, port, t);
-                self.bounce(id, t);
+                self.bounce(id, node, t);
                 true
             }
             RouteDecision::Forward(dir) => {
@@ -560,6 +595,19 @@ impl<P: MeshPayload> MeshNetwork<P> {
                 self.routers[down.0 as usize].inputs[dport].reserved += 1;
                 if self.churn_armed && self.shape.route_next(node, dst) != Some(dir) {
                     self.stats.reroutes += 1;
+                    let src = self.packets[id]
+                        .as_ref()
+                        .expect("forwarding packet must exist")
+                        .packet
+                        .src();
+                    self.flight(
+                        t,
+                        TraceData::PacketRerouted {
+                            src: src.0,
+                            dst: dst.0,
+                            at: node.0,
+                        },
+                    );
                 }
                 let inflight = self.packets[id].as_mut().expect("forwarding packet must exist");
                 inflight.hops += 1;
@@ -626,11 +674,21 @@ impl<P: MeshPayload> MeshNetwork<P> {
     /// bound — so recovery cannot itself be backpressured into a
     /// deadlock; in practice it is bounded by the NICs' go-back-N
     /// windows.
-    fn bounce(&mut self, id: usize, t: SimTime) {
-        let src = self.packets[id].as_ref().expect("bounced packet must exist").packet.src();
+    fn bounce(&mut self, id: usize, at: NodeId, t: SimTime) {
+        let inflight = self.packets[id].as_ref().expect("bounced packet must exist");
+        let src = inflight.packet.src();
+        let dst = inflight.packet.dst();
         let back_at = t + self.config.hop_latency;
         self.routers[src.0 as usize].ejection.push_back((id, back_at));
         self.stats.bounced += 1;
+        self.flight(
+            t,
+            TraceData::PacketBounced {
+                src: src.0,
+                dst: dst.0,
+                at: at.0,
+            },
+        );
         // A mesh event at `back_at` so the host pumps ejections then.
         self.schedule_retry(src, back_at);
     }

@@ -24,6 +24,7 @@ const TID_FIFO_OUT: u64 = 1;
 const TID_FIFO_IN: u64 = 2;
 const TID_DMA: u64 = 3;
 const TID_RETX: u64 = 4;
+const TID_ENGINE: u64 = 5;
 
 fn tid_name(tid: u64) -> &'static str {
     match tid {
@@ -31,6 +32,7 @@ fn tid_name(tid: u64) -> &'static str {
         TID_FIFO_IN => "fifo.in",
         TID_DMA => "dma",
         TID_RETX => "retx",
+        TID_ENGINE => "engine.profile",
         _ => "packets",
     }
 }
@@ -99,10 +101,38 @@ fn classify(event: &TraceEvent) -> Entry {
     }
 }
 
+/// One sample on a Perfetto counter track (`ph:"C"`), rendered as a
+/// stacked-area series on the machine process's `engine.profile` track.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Counter/series name (e.g. `engine.profile.commit_ms`).
+    pub name: String,
+    /// Sample timestamp in trace microseconds.
+    pub ts_us: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
 /// Serializes `events` (any order; sorted internally) into a Chrome
 /// trace-event JSON document.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    to_chrome_json_with_counters(events, &[])
+}
+
+/// Like [`to_chrome_json`], additionally interleaving `counters` as
+/// `ph:"C"` samples on the machine process's engine-profile track. The
+/// sort and B/E-matching guarantees are unchanged; counter samples do
+/// not participate in span matching.
+pub fn to_chrome_json_with_counters(events: &[TraceEvent], counters: &[CounterSample]) -> String {
     let mut entries: Vec<Entry> = events.iter().map(classify).collect();
+    entries.extend(counters.iter().map(|c| Entry {
+        pid: 0,
+        tid: TID_ENGINE,
+        ph: 'C',
+        name: c.name.clone(),
+        ts: c.ts_us,
+        args: vec![("value".to_string(), Value::Float(c.value))],
+    }));
     entries.sort_by(|a, b| a.ts.total_cmp(&b.ts));
 
     // Enforce matched B/E per (pid, tid): drop E with no open B (a
@@ -331,6 +361,39 @@ mod tests {
         let text = to_chrome_json(&events);
         let n = validate_chrome_json(&text).expect("must validate after dropping strays");
         assert_eq!(n, 2, "only the matched raise/clear pair survives");
+    }
+
+    #[test]
+    fn counter_samples_interleave_and_validate() {
+        let events = vec![ev(
+            2_000_000,
+            ComponentId::nic(0),
+            TraceData::PacketInjected {
+                src: 0,
+                dst: 1,
+                bytes: 22,
+                seq: None,
+            },
+        )];
+        let counters = vec![
+            CounterSample {
+                name: "engine.profile.commit_ms".into(),
+                ts_us: 1.0,
+                value: 0.5,
+            },
+            CounterSample {
+                name: "engine.profile.commit_ms".into(),
+                ts_us: 3.0,
+                value: 1.25,
+            },
+        ];
+        let text = to_chrome_json_with_counters(&events, &counters);
+        let n = validate_chrome_json(&text).expect("counter traces must validate");
+        assert_eq!(n, 3, "instant event plus two counter samples");
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("engine.profile"));
+        // Empty counter slice degrades to the plain exporter.
+        assert_eq!(to_chrome_json(&events), to_chrome_json_with_counters(&events, &[]));
     }
 
     #[test]

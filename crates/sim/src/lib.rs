@@ -33,6 +33,8 @@ pub mod event;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod recorder;
 pub mod resource;
 pub mod rng;
 pub mod sched;
@@ -41,15 +43,18 @@ pub mod time;
 pub mod trace;
 
 pub use calendar::CalendarQueue;
-pub use chrome::{to_chrome_json, validate_chrome_json};
+pub use chrome::{to_chrome_json, to_chrome_json_with_counters, validate_chrome_json, CounterSample};
 pub use event::EventQueue;
 pub use fault::{
     FaultConfig, LinkChurnConfig, LinkFault, LinkFaultConfig, LinkFaultSite, NicFaultConfig,
     NicFaultSite,
 };
 pub use metrics::{
-    CounterId, HistogramSummary, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot,
+    validate_metrics_json, CounterId, HistogramSummary, MetricSet, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
 };
+pub use profile::{BarrierCause, EnginePhase, EngineProfileReport, EngineProfiler, WindowStats};
+pub use recorder::{FlightEntry, FlightRecorder};
 pub use resource::{BandwidthResource, SerialResource};
 pub use rng::SimRng;
 pub use sched::{step, Component, Scheduler, SimHost, StepBound, StepOutcome};

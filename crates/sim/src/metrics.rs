@@ -342,6 +342,53 @@ impl MetricsSnapshot {
     }
 }
 
+/// Lints a `shrimp.metrics.v1` document: the schema tag must be
+/// present, counters non-negative (enforced structurally by the u64
+/// parse), gauges finite, and histogram summaries internally
+/// consistent (monotone `p50 ≤ p95 ≤ p99` bounds, `min ≤ max`, an
+/// empty histogram all-zero, a non-empty one with `min ≤ mean ≤ max`).
+/// Returns the number of entries checked. Every bench binary runs this
+/// before writing `BENCH_*.metrics.json`, and CI re-runs it on the
+/// emitted files.
+pub fn validate_metrics_json(text: &str) -> Result<usize, String> {
+    let snap = MetricsSnapshot::parse_json(text).map_err(|e| e.message)?;
+    for (name, value) in snap.entries() {
+        match value {
+            MetricValue::Counter(_) => {}
+            MetricValue::Gauge(g) => {
+                if !g.is_finite() {
+                    return Err(format!("gauge `{name}` is not finite: {g}"));
+                }
+            }
+            MetricValue::Histogram(h) => {
+                if h.min > h.max {
+                    return Err(format!("histogram `{name}` has min {} > max {}", h.min, h.max));
+                }
+                if h.p50 > h.p95 || h.p95 > h.p99 {
+                    return Err(format!(
+                        "histogram `{name}` percentile bounds not monotone: p50={} p95={} p99={}",
+                        h.p50, h.p95, h.p99
+                    ));
+                }
+                if !h.mean.is_finite() {
+                    return Err(format!("histogram `{name}` mean is not finite"));
+                }
+                if h.count == 0 {
+                    if h.min != 0 || h.max != 0 || h.mean != 0.0 {
+                        return Err(format!("histogram `{name}` is empty but has nonzero bounds"));
+                    }
+                } else if h.mean < h.min as f64 - 1e-9 || h.mean > h.max as f64 + 1e-9 {
+                    return Err(format!(
+                        "histogram `{name}` mean {} outside [{}, {}]",
+                        h.mean, h.min, h.max
+                    ));
+                }
+            }
+        }
+    }
+    Ok(snap.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +460,44 @@ mod tests {
             "{\"schema\":\"shrimp.metrics.v1\",\"entries\":{\"x\":{\"type\":\"nope\"}}}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn validate_accepts_every_emitted_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("c", 0);
+        reg.set_counter("engine.windows.closed", u64::MAX);
+        reg.set_gauge("g", -1.5);
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(100);
+        reg.set_histogram("h", &h);
+        reg.set_histogram("empty", &Histogram::new());
+        let n = validate_metrics_json(&reg.snapshot().to_json()).unwrap();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        // Foreign schema.
+        assert!(validate_metrics_json("{\"schema\":\"other\",\"entries\":{}}").is_err());
+        // Negative counter (fails the u64 parse).
+        assert!(validate_metrics_json(
+            "{\"schema\":\"shrimp.metrics.v1\",\"entries\":{\"c\":{\"type\":\"counter\",\"value\":-3}}}"
+        )
+        .is_err());
+        // Non-monotone percentile bounds.
+        let bad_hist = "{\"schema\":\"shrimp.metrics.v1\",\"entries\":{\"h\":{\"type\":\"histogram\",\
+                        \"count\":2,\"min\":1,\"max\":8,\"mean\":4.0,\"p50\":8,\"p95\":4,\"p99\":8}}}";
+        assert!(validate_metrics_json(bad_hist).unwrap_err().contains("not monotone"));
+        // min above max.
+        let inverted = "{\"schema\":\"shrimp.metrics.v1\",\"entries\":{\"h\":{\"type\":\"histogram\",\
+                        \"count\":2,\"min\":9,\"max\":8,\"mean\":8.5,\"p50\":8,\"p95\":8,\"p99\":16}}}";
+        assert!(validate_metrics_json(inverted).unwrap_err().contains("min"));
+        // Empty histogram with leftover bounds.
+        let ghost = "{\"schema\":\"shrimp.metrics.v1\",\"entries\":{\"h\":{\"type\":\"histogram\",\
+                     \"count\":0,\"min\":1,\"max\":2,\"mean\":1.5,\"p50\":0,\"p95\":0,\"p99\":0}}}";
+        assert!(validate_metrics_json(ghost).unwrap_err().contains("empty"));
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Causal flight recorder: fixed-capacity per-node ring buffers of
+//! recent [`TraceEvent`]s, always recordable at zero allocation cost
+//! once constructed (overwrite-oldest), dumped on panic or on demand.
+//!
+//! The recorder observes simulation state but never feeds back into
+//! it: recording happens only on the serial machine path, the rings
+//! are preallocated up front, and a capacity of zero makes every call
+//! inert. A run with the recorder on is therefore byte-identical to a
+//! run with it off (tests/profiling.rs pins this).
+
+use crate::trace::TraceEvent;
+
+/// One recorded event plus the global admission sequence number that
+/// makes dump ordering total even for same-picosecond events.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// Global monotonically increasing admission number.
+    pub seq: u64,
+    /// Node ring this entry was recorded into.
+    pub node: usize,
+    /// The recorded event.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<Option<FlightEntry>>,
+    /// Next write slot; wraps modulo capacity.
+    next: usize,
+}
+
+/// Fixed-capacity per-node ring buffers of recent trace events.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::recorder::FlightRecorder;
+/// use shrimp_sim::trace::{ComponentId, TraceData, TraceEvent, TraceLevel};
+/// use shrimp_sim::time::SimTime;
+///
+/// let mut fr = FlightRecorder::new(2, 4);
+/// fr.record(0, TraceEvent {
+///     time: SimTime::ZERO,
+///     level: TraceLevel::Info,
+///     component: ComponentId::MESH,
+///     data: TraceData::PacketInjected { src: 0, dst: 1, bytes: 64, seq: None },
+/// });
+/// assert_eq!(fr.dump().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    rings: Vec<Ring>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// Preallocates `nodes` rings of `capacity` entries each.
+    /// `capacity == 0` disables recording entirely.
+    pub fn new(nodes: usize, capacity: usize) -> Self {
+        let rings = (0..nodes)
+            .map(|_| Ring {
+                buf: vec![None; capacity],
+                next: 0,
+            })
+            .collect();
+        FlightRecorder {
+            rings,
+            capacity,
+            seq: 0,
+        }
+    }
+
+    /// Whether any recording can happen.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0 && !self.rings.is_empty()
+    }
+
+    /// Ring capacity per node.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records `event` into `node`'s ring, overwriting the oldest
+    /// entry when full. Inert when capacity is zero; out-of-range
+    /// nodes are clamped into the last ring so mesh-level events
+    /// always land somewhere.
+    #[inline]
+    pub fn record(&mut self, node: usize, event: TraceEvent) {
+        if self.capacity == 0 || self.rings.is_empty() {
+            return;
+        }
+        let node = node.min(self.rings.len() - 1);
+        let seq = self.seq;
+        self.seq += 1;
+        let ring = &mut self.rings[node];
+        let slot = ring.next;
+        ring.buf[slot] = Some(FlightEntry { seq, node, event });
+        ring.next = (slot + 1) % self.capacity;
+    }
+
+    /// Total events ever admitted (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// All currently retained entries across every ring, sorted by
+    /// `(time, seq)` — a total, stable order.
+    pub fn dump(&self) -> Vec<FlightEntry> {
+        let mut out: Vec<FlightEntry> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.buf.iter().flatten().cloned())
+            .collect();
+        out.sort_by_key(|e| (e.event.time, e.seq));
+        out
+    }
+
+    /// Retained entries whose event involves the packet lane
+    /// `src → dst`, `(time, seq)`-sorted: the causal trail of one
+    /// transfer through inject → route/reroute/bounce → eject →
+    /// deliver.
+    pub fn trail(&self, src: u16, dst: u16) -> Vec<FlightEntry> {
+        let mut out: Vec<FlightEntry> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.buf.iter().flatten())
+            .filter(|e| e.event.data.packet_lane() == Some((src, dst)))
+            .cloned()
+            .collect();
+        out.sort_by_key(|e| (e.event.time, e.seq));
+        out
+    }
+
+    /// Renders the retained entries as one line per event, oldest
+    /// first — the panic-dump format.
+    pub fn render(&self) -> String {
+        let entries = self.dump();
+        let mut out = String::with_capacity(entries.len() * 64);
+        out.push_str(&format!(
+            "--- flight recorder: {} retained of {} recorded ---\n",
+            entries.len(),
+            self.recorded()
+        ));
+        for e in &entries {
+            out.push_str(&format!(
+                "[{:>12} ps] seq={:<6} node={:<3} {}\n",
+                e.event.time.as_picos(),
+                e.seq,
+                e.node,
+                e.event.data
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::trace::{ComponentId, TraceData, TraceLevel};
+
+    fn ev(t: u64, src: u16, dst: u16) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_picos(t),
+            level: TraceLevel::Info,
+            component: ComponentId::MESH,
+            data: TraceData::PacketInjected {
+                src,
+                dst,
+                bytes: 64,
+                seq: None,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_wraps_at_capacity_keeping_newest() {
+        let mut fr = FlightRecorder::new(1, 3);
+        for i in 0..5u64 {
+            fr.record(0, ev(i, 0, 1));
+        }
+        let d = fr.dump();
+        assert_eq!(fr.recorded(), 5);
+        assert_eq!(d.len(), 3, "ring retains exactly its capacity");
+        let times: Vec<u64> = d.iter().map(|e| e.event.time.as_picos()).collect();
+        assert_eq!(times, vec![2, 3, 4], "oldest entries overwritten first");
+    }
+
+    #[test]
+    fn dump_is_time_then_seq_sorted_across_rings() {
+        let mut fr = FlightRecorder::new(3, 4);
+        // Interleave same-time events across rings; admission order
+        // (seq) must break the tie deterministically.
+        fr.record(2, ev(10, 2, 0));
+        fr.record(0, ev(5, 0, 1));
+        fr.record(1, ev(10, 1, 2));
+        fr.record(0, ev(7, 0, 2));
+        let d = fr.dump();
+        let keys: Vec<(u64, u64)> = d.iter().map(|e| (e.event.time.as_picos(), e.seq)).collect();
+        assert_eq!(keys, vec![(5, 1), (7, 3), (10, 0), (10, 2)]);
+    }
+
+    #[test]
+    fn zero_capacity_recorder_is_inert() {
+        let mut fr = FlightRecorder::new(4, 0);
+        assert!(!fr.is_enabled());
+        fr.record(0, ev(1, 0, 1));
+        assert_eq!(fr.recorded(), 0);
+        assert!(fr.dump().is_empty());
+    }
+
+    #[test]
+    fn trail_filters_by_packet_lane() {
+        let mut fr = FlightRecorder::new(2, 8);
+        fr.record(0, ev(1, 0, 1));
+        fr.record(1, ev(2, 1, 0));
+        fr.record(0, ev(3, 0, 1));
+        let t = fr.trail(0, 1);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|e| e.event.data.packet_lane() == Some((0, 1))));
+        assert!(fr.trail(3, 3).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_node_clamps_to_last_ring() {
+        let mut fr = FlightRecorder::new(2, 2);
+        fr.record(99, ev(1, 0, 1));
+        let d = fr.dump();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].node, 1);
+    }
+
+    #[test]
+    fn render_mentions_counts_and_events() {
+        let mut fr = FlightRecorder::new(1, 2);
+        fr.record(0, ev(42, 0, 1));
+        let s = fr.render();
+        assert!(s.contains("1 retained of 1 recorded"));
+        assert!(s.contains("42"));
+    }
+}

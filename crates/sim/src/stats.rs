@@ -397,4 +397,69 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
     }
+
+    #[test]
+    fn empty_histogram_percentiles_are_all_none() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn single_sample_percentiles_agree() {
+        // With one sample every percentile falls in the same bucket, so
+        // p50 == p95 == p99 == the sample's power-of-two upper bound.
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.p50(), Some(8));
+        assert_eq!(h.p95(), Some(8));
+        assert_eq!(h.p99(), Some(8));
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn merge_with_disjoint_bucket_ranges_keeps_both_tails() {
+        // a occupies only low buckets, b only high ones — nothing
+        // overlaps, so the merged histogram must preserve both ends
+        // and the combined quantile structure.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [1 << 20, 1 << 21, 1 << 22] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(1 << 22));
+        // Half the mass is below 4, so p50's bound stays in the low range.
+        assert!(a.p50().unwrap() <= 4, "p50 bound {:?}", a.p50());
+        // The top percentile must come from b's disjoint high range.
+        assert!(a.p99().unwrap() >= 1 << 22, "p99 bound {:?}", a.p99());
+        // Merging an empty histogram changes nothing.
+        let snapshot = (a.count(), a.min(), a.max());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max()), snapshot);
+    }
+
+    #[test]
+    fn counter_add_saturates_exactly_at_max() {
+        let mut c = Counter::new("pin");
+        c.add(u64::MAX);
+        assert_eq!(c.value(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.value(), u64::MAX, "MAX + MAX must stay MAX");
+        c.reset();
+        c.add(3);
+        assert_eq!(c.value(), 3, "reset unpins a saturated counter");
+    }
 }

@@ -162,6 +162,52 @@ pub enum TraceData {
         /// Link-state epoch after the transition.
         epoch: u64,
     },
+    /// Adaptive routing sent a packet off its static west-first path
+    /// (churn rerouting).
+    PacketRerouted {
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Node where the reroute decision was made.
+        at: u16,
+    },
+    /// A packet hit a dead or unreachable link and was bounced back to
+    /// its source.
+    PacketBounced {
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Node where the bounce happened.
+        at: u16,
+    },
+    /// A packet left the mesh into the destination's ejection buffer.
+    PacketEjected {
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Wire bytes.
+        bytes: u32,
+    },
+}
+
+impl TraceData {
+    /// The `(src, dst)` packet lane this event belongs to, when it is
+    /// part of a packet's lifecycle (inject → route/reroute/bounce →
+    /// eject → deliver). Used by the flight recorder to reconstruct a
+    /// single transfer's causal trail.
+    pub fn packet_lane(&self) -> Option<(u16, u16)> {
+        match *self {
+            TraceData::PacketInjected { src, dst, .. }
+            | TraceData::PacketDelivered { src, dst, .. }
+            | TraceData::PacketRerouted { src, dst, .. }
+            | TraceData::PacketBounced { src, dst, .. }
+            | TraceData::PacketEjected { src, dst, .. } => Some((src, dst)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceData {
@@ -209,6 +255,15 @@ impl fmt::Display for TraceData {
             }
             TraceData::LinkUp { from, to, epoch } => {
                 write!(f, "link up {from}->{to} epoch={epoch}")
+            }
+            TraceData::PacketRerouted { src, dst, at } => {
+                write!(f, "packet rerouted {src}->{dst} at node {at}")
+            }
+            TraceData::PacketBounced { src, dst, at } => {
+                write!(f, "packet bounced {src}->{dst} at node {at}")
+            }
+            TraceData::PacketEjected { src, dst, bytes } => {
+                write!(f, "packet ejected {src}->{dst} {bytes}B")
             }
         }
     }
@@ -360,19 +415,40 @@ impl Default for Tracer {
     }
 }
 
-/// What the machine observes about itself: both knobs default to off,
-/// and an all-off config must be bit-identical to a machine without the
-/// telemetry subsystem (pinned by `tests/determinism.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// What the machine observes about itself: every knob defaults to a
+/// state that cannot perturb simulation results, and an all-off config
+/// must be bit-identical to a machine without the telemetry subsystem
+/// (pinned by `tests/determinism.rs` and `tests/profiling.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryConfig {
     /// Record typed trace events at this level and above.
     pub trace_level: Option<TraceLevel>,
     /// Record per-packet lifecycle latency histograms and breakdowns.
     pub latency: bool,
+    /// Collect wall-clock engine phase attribution (`engine.profile.*`).
+    /// Wall times never enter the deterministic metrics snapshot, so
+    /// this cannot perturb results either way.
+    pub profile: bool,
+    /// Flight-recorder ring capacity per node (recent trace events kept
+    /// for panic dumps and causal trails). `0` disables recording; the
+    /// default keeps a small ring always on.
+    pub flight_recorder: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_level: None,
+            latency: false,
+            profile: false,
+            flight_recorder: 64,
+        }
+    }
 }
 
 impl TelemetryConfig {
-    /// Everything off (the default).
+    /// Observation defaults: tracing/latency/profiling off, a small
+    /// flight-recorder ring on (it is perturbation-free by design).
     pub fn off() -> Self {
         TelemetryConfig::default()
     }
@@ -382,6 +458,8 @@ impl TelemetryConfig {
         TelemetryConfig {
             trace_level: Some(TraceLevel::Debug),
             latency: true,
+            profile: true,
+            flight_recorder: 256,
         }
     }
 }
@@ -464,9 +542,25 @@ mod tests {
     fn telemetry_config_defaults_off() {
         let c = TelemetryConfig::default();
         assert_eq!(c, TelemetryConfig::off());
-        assert!(c.trace_level.is_none() && !c.latency);
+        assert!(c.trace_level.is_none() && !c.latency && !c.profile);
+        assert!(c.flight_recorder > 0, "flight recorder rides along by default");
         let f = TelemetryConfig::full();
         assert_eq!(f.trace_level, Some(TraceLevel::Debug));
-        assert!(f.latency);
+        assert!(f.latency && f.profile);
+    }
+
+    #[test]
+    fn packet_lane_covers_lifecycle_variants_only() {
+        let lane = |d: TraceData| d.packet_lane();
+        assert_eq!(
+            lane(TraceData::PacketInjected { src: 2, dst: 5, bytes: 64, seq: None }),
+            Some((2, 5))
+        );
+        assert_eq!(lane(TraceData::PacketRerouted { src: 2, dst: 5, at: 3 }), Some((2, 5)));
+        assert_eq!(lane(TraceData::PacketBounced { src: 2, dst: 5, at: 3 }), Some((2, 5)));
+        assert_eq!(lane(TraceData::PacketEjected { src: 2, dst: 5, bytes: 64 }), Some((2, 5)));
+        assert_eq!(lane(TraceData::PacketDelivered { src: 2, dst: 5, bytes: 64 }), Some((2, 5)));
+        assert_eq!(lane(TraceData::DmaStart { node: 2, bytes: 64 }), None);
+        assert_eq!(lane(TraceData::LinkDown { from: 0, to: 1, epoch: 1 }), None);
     }
 }

@@ -121,7 +121,33 @@ pub fn run_scenario_observed(
     run(sc, workers)
 }
 
+/// Runs a scenario with a final hook over the built [`MachineConfig`],
+/// for callers that flip telemetry knobs (profview turns on the engine
+/// profiler this way) without re-deriving the scenario→config mapping.
+///
+/// The tweak runs last, after the scenario's own settings, so it can
+/// override anything — including `workers`.
+///
+/// # Errors
+///
+/// Propagates machine errors and stalls.
+pub fn run_scenario_tuned(
+    sc: &Scenario,
+    workers: Option<usize>,
+    tune: impl FnOnce(&mut MachineConfig),
+) -> Result<(Report, Machine), WorkloadError> {
+    run_with(sc, workers, tune)
+}
+
 fn run(sc: &Scenario, workers: Option<usize>) -> Result<(Report, Machine), WorkloadError> {
+    run_with(sc, workers, |_| {})
+}
+
+fn run_with(
+    sc: &Scenario,
+    workers: Option<usize>,
+    tune: impl FnOnce(&mut MachineConfig),
+) -> Result<(Report, Machine), WorkloadError> {
     let mut cfg = MachineConfig::prototype(MeshShape::new(sc.mesh.0, sc.mesh.1));
     cfg.pages_per_node = sc.pages;
     cfg.telemetry.latency = true;
@@ -157,6 +183,7 @@ fn run(sc: &Scenario, workers: Option<usize>) -> Result<(Report, Machine), Workl
     if let Some(w) = workers {
         cfg.workers = w;
     }
+    tune(&mut cfg);
     let mut generator = Generator::new(sc, Machine::new(cfg));
     generator.run_to_completion()?;
     Ok(generator.into_parts())

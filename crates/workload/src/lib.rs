@@ -36,5 +36,8 @@ pub mod gen;
 pub mod report;
 
 pub use dsl::{DslError, Scenario};
-pub use gen::{run_scenario, run_scenario_observed, run_scenario_with_workers, WorkloadError};
+pub use gen::{
+    run_scenario, run_scenario_observed, run_scenario_tuned, run_scenario_with_workers,
+    WorkloadError,
+};
 pub use report::{delivery_hash, Report};

@@ -450,9 +450,11 @@ fn run_ring(cfg: MachineConfig) -> Machine {
 /// The tentpole contract on a workload that demonstrably exercises the
 /// parallel path: for every worker count the delivery hash, the full
 /// metrics-snapshot JSON and the per-node event counts must be
-/// byte-identical to the sequential run — and with `workers >= 2` the
-/// engine must have actually shipped batches to the pool, not quietly
-/// fallen through to the inline path.
+/// byte-identical to the sequential run. Window formation runs at
+/// every worker count (with one worker the slices execute inline), so
+/// the window count itself must also be worker-invariant — the
+/// property that makes the `engine.barrier.*` counters safe to publish
+/// in the snapshot.
 #[test]
 fn worker_sweep_is_bit_identical_on_ring() {
     let run = |workers: usize| {
@@ -467,7 +469,7 @@ fn worker_sweep_is_bit_identical_on_ring() {
         )
     };
     let (h0, json0, counts0, batches0) = run(1);
-    assert_eq!(batches0, 0, "sequential engine must never batch");
+    assert!(batches0 > 0, "window engine must engage at workers=1 too");
     assert!(
         counts0.iter().all(|&c| c > 0),
         "every node must process events: {counts0:?}"
@@ -477,7 +479,7 @@ fn worker_sweep_is_bit_identical_on_ring() {
         assert_eq!(h, h0, "delivery hash drifted at workers={workers}");
         assert_eq!(json, json0, "metrics snapshot drifted at workers={workers}");
         assert_eq!(counts, counts0, "event counts drifted at workers={workers}");
-        assert!(batches > 0, "engine never batched at workers={workers}");
+        assert_eq!(batches, batches0, "window count drifted at workers={workers}");
     }
 }
 
