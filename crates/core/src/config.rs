@@ -3,7 +3,7 @@
 use shrimp_cpu::CpuConfig;
 use shrimp_mem::{BusConfig, CacheConfig};
 use shrimp_mesh::{MeshConfig, MeshShape};
-use shrimp_nic::NicConfig;
+use shrimp_nic::{NicBackend, NicConfig};
 use shrimp_sim::{FaultConfig, SimDuration, TelemetryConfig};
 
 /// Configuration of a simulated SHRIMP machine.
@@ -21,6 +21,10 @@ pub struct MachineConfig {
     pub bus: BusConfig,
     /// Network interface parameters.
     pub nic: NicConfig,
+    /// Which NIC backend the nodes are built with: the paper's pinned
+    /// SHRIMP design (the default) or the NP-RDMA-style unpinned one
+    /// (bounded IOTLB + dynamic map-in; see `shrimp_nic::unpinned`).
+    pub nic_backend: NicBackend,
     /// Backplane parameters.
     pub mesh: MeshConfig,
     /// Cost of the `map` system call (protection checking, page-table and
@@ -64,6 +68,7 @@ impl MachineConfig {
             cache: CacheConfig::pentium_l2(),
             bus: BusConfig::shrimp_prototype(),
             nic: NicConfig::prototype(),
+            nic_backend: NicBackend::default(),
             mesh: MeshConfig::paragon(shape),
             map_syscall_cost: SimDuration::from_us(50),
             kernel_msg_latency: SimDuration::from_us(10),

@@ -23,7 +23,7 @@
 use shrimp_cpu::{Cpu, Program, Reg};
 use shrimp_mem::{CacheMode, MemError, PageNum, PhysAddr, VirtAddr, PAGE_SIZE, WORD_SIZE};
 use shrimp_mesh::{MeshNetwork, NodeId};
-use shrimp_nic::{NetworkInterface, NicError, NicInterrupt, OutSegment, ShrimpPacket, UpdatePolicy};
+use shrimp_nic::{AnyNic, NicError, NicInterrupt, NicModel, OutSegment, ShrimpPacket, UpdatePolicy};
 use shrimp_os::kernel::OutgoingRecord;
 use shrimp_os::{ExportId, Kernel, OsError, Pid};
 use shrimp_sim::{
@@ -479,10 +479,7 @@ impl Machine {
             dst_pages,
         )?;
         for &frame in &token.frames {
-            self.node_mut(req.dst_node)
-                .nic
-                .nipt_mut()
-                .set_mapped_in(frame, true)?;
+            self.node_mut(req.dst_node).nic.map_in(frame, true)?;
         }
 
         // Sender half: validate + write-through caching.
@@ -534,8 +531,7 @@ impl Machine {
             };
             self.node_mut(req.src_node)
                 .nic
-                .nipt_mut()
-                .set_out_segment(src_frame, seg)?;
+                .map_out_segment(src_frame, seg)?;
             self.node_mut(req.src_node)
                 .kernel
                 .add_outgoing_record(OutgoingRecord {
@@ -599,8 +595,7 @@ impl Machine {
                 .min(req.len - pos_b);
             if let Some(seg) = self.nodes[req.src_node.0 as usize]
                 .nic
-                .nipt_mut()
-                .clear_out_segment(src_frame, src_byte.offset())
+                .unmap_out(src_frame, src_byte.offset())
             {
                 dst_frames.push(seg.dst_base.page());
             }
@@ -636,10 +631,7 @@ impl Machine {
                 .kernel
                 .release_import(frame, req.src_node);
             if free {
-                let _ = self.nodes[req.dst_node.0 as usize]
-                    .nic
-                    .nipt_mut()
-                    .set_mapped_in(frame, false);
+                let _ = self.nodes[req.dst_node.0 as usize].nic.map_in(frame, false);
             }
         }
 
@@ -917,7 +909,7 @@ impl Machine {
     pub fn complete_pageout(&mut self, node: NodeId, frame: PageNum) -> Result<(), MachineError> {
         let n = self.node_mut(node);
         n.kernel.complete_pageout(frame)?;
-        n.nic.nipt_mut().set_mapped_in(frame, false)?;
+        n.nic.map_in(frame, false)?;
         self.flush_tlb(node);
         Ok(())
     }
@@ -1653,8 +1645,7 @@ impl Machine {
         for &frame in &token.frames {
             if self.nodes[req.dst_node.0 as usize]
                 .nic
-                .nipt_mut()
-                .set_mapped_in(frame, true)
+                .map_in(frame, true)
                 .is_err()
             {
                 return false;
@@ -1681,8 +1672,7 @@ impl Machine {
             };
             if self.nodes[node.0 as usize]
                 .nic
-                .nipt_mut()
-                .set_out_segment(rec.src_frame, seg)
+                .map_out_segment(rec.src_frame, seg)
                 .is_err()
             {
                 return false;
@@ -1720,8 +1710,9 @@ impl Machine {
         self.node(node).nic.stats()
     }
 
-    /// The network interface of a node (read-only inspection).
-    pub fn nic(&self, node: NodeId) -> &NetworkInterface {
+    /// The network interface of a node (read-only inspection of whatever
+    /// backend the machine was configured with).
+    pub fn nic(&self, node: NodeId) -> &AnyNic {
         &self.node(node).nic
     }
 

@@ -25,7 +25,7 @@ use shrimp_mem::{
     XpressBus, WORD_SIZE,
 };
 use shrimp_mesh::{MeshPacket, NodeId};
-use shrimp_nic::{NetworkInterface, Payload, ShrimpPacket};
+use shrimp_nic::{AnyNic, NicModel, Payload, ShrimpPacket};
 use shrimp_os::{Kernel, KernelMsg, OsError, Pid, RoundRobin, SchedDecision};
 use shrimp_sim::{Component, SimDuration, SimTime, Tracer};
 
@@ -128,7 +128,7 @@ pub(crate) struct Node {
     pub(crate) cache: CacheModel,
     pub(crate) xpress: XpressBus,
     pub(crate) eisa: EisaBus,
-    pub(crate) nic: NetworkInterface,
+    pub(crate) nic: AnyNic,
     pub(crate) tlb: Tlb,
     pub(crate) sched: RoundRobin,
     pub(crate) cpus: BTreeMap<Pid, Cpu>,
@@ -150,7 +150,13 @@ pub(crate) struct Node {
 impl Node {
     /// Builds an idle node from the machine configuration.
     pub(crate) fn new(id: NodeId, config: &MachineConfig) -> Self {
-        let mut nic = NetworkInterface::new(id, config.shape, config.nic, config.pages_per_node);
+        let mut nic = AnyNic::new(
+            config.nic_backend,
+            id,
+            config.shape,
+            config.nic,
+            config.pages_per_node,
+        );
         if let Some(site) = config.fault.nic_site(id.0 as u64) {
             nic.set_fault_injection(site);
         }
@@ -369,8 +375,9 @@ impl Node {
         dst_node: NodeId,
         dst_frame: PageNum,
     ) {
-        let nipt = self.nic.nipt_mut();
-        let starts: Vec<u64> = nipt
+        let starts: Vec<u64> = self
+            .nic
+            .nipt()
             .entry(src_frame)
             .map(|e| {
                 e.segments()
@@ -380,7 +387,9 @@ impl Node {
             })
             .unwrap_or_default();
         for start in starts {
-            nipt.clear_out_segment(src_frame, start);
+            // Through the trait so backends with cached translations
+            // (the unpinned IOTLB) observe the shootdown.
+            self.nic.unmap_out(src_frame, start);
         }
     }
 
@@ -483,9 +492,26 @@ struct NodeBusView<'a> {
     cache: &'a mut CacheModel,
     xpress: &'a mut XpressBus,
     mem: &'a mut PhysicalMemory,
-    nic: &'a mut NetworkInterface,
+    nic: &'a mut AnyNic,
     walk_latency: SimDuration,
     pages_per_node: u64,
+}
+
+/// The deliberate-update DMA source read: one NIC-initiated bus read
+/// filling a recycled arena buffer (no per-packet allocation on the hot
+/// path). Shared by the store and CMPXCHG command paths.
+fn nic_dma_read(
+    xpress: &mut XpressBus,
+    mem: &mut PhysicalMemory,
+    at: SimTime,
+    src: PhysAddr,
+    len: u64,
+) -> (Payload, SimTime) {
+    let txn = xpress.read(at, src, len, shrimp_mem::BusInitiator::NicDma);
+    let payload = shrimp_nic::pooled_payload(len as usize, |buf| {
+        let _ = mem.read_bytes_into(src, buf);
+    });
+    (payload, txn.grant.end)
 }
 
 impl NodeBusView<'_> {
@@ -561,14 +587,11 @@ impl MemoryBus for NodeBusView<'_> {
             // mem_read services deliberate-update DMA reads.
             let mem = &mut *self.mem;
             let xpress = &mut *self.xpress;
-            let _ = self.nic.command_write(end, phys, value, |src, len| {
-                let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                // Fill a recycled arena buffer: no per-packet allocation
-                // on the deliberate-update hot path.
-                let mut buf = shrimp_nic::arena::take(len as usize);
-                let _ = mem.read_bytes_into(src, &mut buf);
-                (shrimp_nic::Payload::from(buf), txn.grant.end)
-            });
+            let _ = self
+                .nic
+                .command_write(end, phys, value, |src, len| {
+                    nic_dma_read(xpress, mem, end, src, len)
+                });
             return Ok(end);
         }
         let outcome = self.cache.store(phys, mode);
@@ -618,12 +641,11 @@ impl MemoryBus for NodeBusView<'_> {
                 end = wtxn.grant.end;
                 let mem = &mut *self.mem;
                 let xpress = &mut *self.xpress;
-                let _ = self.nic.command_write(end, phys, new, |src, len| {
-                    let txn = xpress.read(end, src, len, shrimp_mem::BusInitiator::NicDma);
-                    let mut buf = shrimp_nic::arena::take(len as usize);
-                    let _ = mem.read_bytes_into(src, &mut buf);
-                    (shrimp_nic::Payload::from(buf), txn.grant.end)
-                });
+                let _ = self
+                    .nic
+                    .command_write(end, phys, new, |src, len| {
+                        nic_dma_read(xpress, mem, end, src, len)
+                    });
             }
             return Ok((status, end));
         }

@@ -32,6 +32,40 @@ pub struct NicConfig {
     /// baseline wire format and timing are then bit-identical to a NIC
     /// without the engine.
     pub retx: RetxConfig,
+    /// Parameters of the unpinned (NP-RDMA-style) backend. Inert on the
+    /// pinned SHRIMP backend, so carrying them here keeps [`NicConfig`]
+    /// the single NIC parameter block either backend is built from.
+    pub unpinned: UnpinnedConfig,
+}
+
+/// Parameters of the unpinned backend's outgoing IOTLB and dynamic
+/// map-in path (see `shrimp_nic::unpinned`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnpinnedConfig {
+    /// Outgoing-translation IOTLB capacity in pages. Capacity pressure
+    /// evicts the least-recently-used entry through the shootdown path.
+    pub iotlb_entries: usize,
+    /// Kernel round-trip charged for one dynamic map-in: the time from
+    /// an IOTLB miss to the entry being installed and the buffered
+    /// write(s) replayed.
+    pub map_in_latency: SimDuration,
+}
+
+impl UnpinnedConfig {
+    /// Defaults sized for the prototype mesh: a 32-page IOTLB and a
+    /// 20 µs kernel round-trip per dynamic map-in.
+    pub fn prototype() -> Self {
+        UnpinnedConfig {
+            iotlb_entries: 32,
+            map_in_latency: SimDuration::from_us(20),
+        }
+    }
+}
+
+impl Default for UnpinnedConfig {
+    fn default() -> Self {
+        UnpinnedConfig::prototype()
+    }
 }
 
 /// Go-back-N retransmission parameters.
@@ -98,6 +132,7 @@ impl NicConfig {
             max_payload: 4096,
             dma_setup: SimDuration::from_ns(200),
             retx: RetxConfig::disabled(),
+            unpinned: UnpinnedConfig::prototype(),
         }
     }
 
@@ -139,6 +174,14 @@ impl NicConfig {
                 "reroute backoff must be positive"
             );
         }
+        assert!(
+            self.unpinned.iotlb_entries >= 1,
+            "IOTLB must hold at least one entry"
+        );
+        assert!(
+            self.unpinned.map_in_latency > SimDuration::ZERO,
+            "map-in latency must be positive"
+        );
     }
 }
 

@@ -45,22 +45,46 @@
 pub mod arena;
 pub mod command;
 pub mod config;
+pub mod datapath;
 pub mod dma;
 pub mod error;
 pub mod fifo;
+pub mod incoming;
+pub mod model;
 pub mod nic;
 pub mod nipt;
+pub mod outgoing;
 pub mod packet;
+pub mod retx;
+pub mod stats;
+pub mod unpinned;
+
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use arena::PoolBuf;
 pub use command::{CommandOp, CommandSpace};
-pub use config::{NicConfig, RetxConfig};
+pub use config::{NicConfig, RetxConfig, UnpinnedConfig};
 pub use dma::{DmaEngine, DmaStatus};
 pub use error::NicError;
 pub use fifo::PacketFifo;
+pub use model::{AnyNic, NicBackend, NicModel, ShrimpNicModel};
 pub use nic::{IncomingDelivery, NetworkInterface, NicInterrupt, SnoopOutcome};
 pub use nipt::{Nipt, NiptEntry, OutSegment, UpdatePolicy};
 pub use packet::{
     crc32, Crc32, FrameKind, LinkCtl, PacketStamp, Payload, ShrimpPacket, WireHeader,
     INLINE_PAYLOAD_MAX,
 };
+pub use stats::NicStats;
+pub use unpinned::{IotlbStats, UnpinnedNicModel};
+
+/// Builds a [`Payload`] of `len` bytes backed by a pooled [`arena`]
+/// buffer, filled in place by `fill`. This is the supported way for bus
+/// glue (the deliberate-update DMA read in `shrimp-core`) to hand the
+/// NIC a zero-extra-copy payload without reaching into the arena
+/// directly.
+pub fn pooled_payload(len: usize, fill: impl FnOnce(&mut [u8])) -> Payload {
+    let mut buf = arena::take(len);
+    fill(&mut buf);
+    Payload::from(buf)
+}

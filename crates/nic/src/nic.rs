@@ -5,324 +5,81 @@
 //! machine model in `shrimp-core` feeds it snooped bus writes, drains its
 //! Outgoing FIFO into the mesh, offers it arriving mesh packets, and
 //! performs the EISA DMA for deliveries it pops from the Incoming FIFO.
+//!
+//! The behaviour is split across sibling modules, all implementing
+//! methods on [`NetworkInterface`]:
+//!
+//! - [`crate::datapath`] — snooped automatic updates and command-driven
+//!   deliberate updates,
+//! - [`crate::outgoing`] — Outgoing FIFO, overflow spill/refill, and the
+//!   FIFO→mesh injection path,
+//! - [`crate::incoming`] — mesh→Incoming FIFO acceptance and delivery,
+//! - [`crate::retx`] — go-back-N retransmission and bounce/reroute
+//!   recovery,
+//! - [`crate::stats`] — counters and registry wiring.
+//!
+//! This module keeps the struct itself, construction, and the shared
+//! housekeeping (`poll` / `next_deadline`).
 
-use shrimp_mem::{PhysAddr, PageNum, WORD_SIZE};
-use shrimp_mesh::{MeshCoord, MeshPacket, MeshShape, NodeId};
+use shrimp_mesh::{MeshCoord, MeshShape, NodeId};
 use shrimp_sim::fault::NicFaultSite;
-use shrimp_sim::{
-    ComponentId, CounterId, MetricSet, MetricsRegistry, SimDuration, SimTime, TraceData,
-    TraceLevel, Tracer,
-};
+use shrimp_sim::{ComponentId, MetricSet, SimTime, Tracer};
 
-use std::collections::BTreeMap;
-
-use crate::command::{CommandOp, CommandSpace};
+use crate::command::CommandSpace;
 use crate::config::NicConfig;
 use crate::dma::DmaEngine;
-use crate::error::NicError;
 use crate::fifo::PacketFifo;
-use crate::nipt::{Nipt, OutSegment, UpdatePolicy};
-use crate::packet::{FrameKind, LinkCtl, PacketStamp, Payload, ShrimpPacket, WireHeader};
+use crate::nipt::Nipt;
+use crate::packet::ShrimpPacket;
 
-/// What the NIC did with one snooped bus write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SnoopOutcome {
-    /// The address is not mapped out (or is mapped for deliberate update):
-    /// the write is an ordinary memory write.
-    Ignored,
-    /// A packet was queued in the Outgoing FIFO (single-write automatic
-    /// update, or a blocked-write flush).
-    Queued,
-    /// The write joined (or opened) a pending blocked-write packet.
-    Merged,
-    /// The Outgoing FIFO could not take the packet: the CPU must stall
-    /// until the FIFO drains (paper §4). The data is buffered and will be
-    /// queued by [`NetworkInterface::poll`] once space frees.
-    Stalled,
-}
+// Re-exports so the long-standing `shrimp_nic::nic::*` paths keep
+// resolving after the module split.
+pub use crate::datapath::{CommandEffect, NicInterrupt, SnoopOutcome};
+pub use crate::incoming::IncomingDelivery;
+pub use crate::stats::NicStats;
 
-impl SnoopOutcome {
-    /// True when the write produced or joined an outgoing packet.
-    pub fn queued(self) -> bool {
-        matches!(self, SnoopOutcome::Queued | SnoopOutcome::Merged)
-    }
-}
-
-/// The effect of a command-page write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommandEffect {
-    /// A deliberate-update transfer was started; the packet will be ready
-    /// at the reported time.
-    DmaStarted {
-        /// When the DMA engine finishes reading and packetizing.
-        done_at: SimTime,
-    },
-    /// The engine was busy; the hardware ignored the write. Correct code
-    /// never sees this because the `CMPXCHG` read phase returns busy.
-    DmaBusy,
-    /// A mapping segment's update policy was switched.
-    PolicyChanged,
-    /// The interrupt-on-arrival request was armed or disarmed.
-    InterruptToggled,
-}
-
-/// An interrupt raised towards the node CPU/kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NicInterrupt {
-    /// The Outgoing FIFO crossed its threshold; the CPU waits for it to
-    /// drain.
-    OutgoingThreshold,
-    /// Data arrived for a page whose interrupt request was armed (§4.2).
-    DataArrival {
-        /// The page the data landed on.
-        page: PageNum,
-    },
-    /// An arriving packet addressed a page that is not mapped in; the
-    /// kernel is told so it can fault the offending connection.
-    BadDelivery,
-}
-
-/// A packet popped from the Incoming FIFO, ready for the memory transfer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IncomingDelivery {
-    /// Destination physical address.
-    pub dst_addr: PhysAddr,
-    /// The data to deposit — the same buffer the sender packetized,
-    /// passed along by refcount.
-    pub data: Payload,
-    /// Earliest time the memory transfer may start.
-    pub ready_at: SimTime,
-    /// The sending node.
-    pub src: NodeId,
-    /// True if the page's one-shot interrupt request was armed.
-    pub interrupt: bool,
-    /// Lifecycle timestamps carried by the packet through the datapath.
-    pub stamp: PacketStamp,
-}
-
-/// Counters exposed by the NIC.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NicStats {
-    /// Packets queued for the network.
-    pub packets_sent: u64,
-    /// Payload bytes queued for the network.
-    pub bytes_sent: u64,
-    /// Packets accepted from the network.
-    pub packets_received: u64,
-    /// Payload bytes accepted from the network.
-    pub bytes_received: u64,
-    /// Snooped writes merged into a pending blocked-write packet.
-    pub merged_writes: u64,
-    /// Packets produced by the single-write path.
-    pub single_write_packets: u64,
-    /// Packets produced by the blocked-write path.
-    pub blocked_write_packets: u64,
-    /// Packets produced by the deliberate-update DMA engine.
-    pub dma_packets: u64,
-    /// Arriving packets dropped for CRC/framing errors.
-    pub crc_drops: u64,
-    /// Arriving packets dropped because they were misrouted.
-    pub misroutes: u64,
-    /// Arriving packets addressed to pages that are not mapped in.
-    pub unmapped_drops: u64,
-    /// Data packets re-sent by the go-back-N engine.
-    pub retransmissions: u64,
-    /// Retransmit timeouts that fired (each rewinds one send window).
-    pub retx_timeouts: u64,
-    /// Ack control frames generated.
-    pub acks_sent: u64,
-    /// Ack control frames consumed.
-    pub acks_received: u64,
-    /// Nack control frames generated.
-    pub nacks_sent: u64,
-    /// Nack control frames consumed.
-    pub nacks_received: u64,
-    /// Arriving data frames dropped as already-delivered duplicates.
-    pub dup_drops: u64,
-    /// Arriving data frames dropped for a sequence gap (a predecessor
-    /// was lost; go-back-N refetches from the hole).
-    pub gap_drops: u64,
-    /// Injected receive-FIFO stalls (fault injection).
-    pub fault_stalls: u64,
-    /// Elevated retransmit backoffs reset by ack progress.
-    pub gbn_backoff_resets: u64,
-    /// Gap nacks suppressed because the hole was already nacked (the
-    /// nack-storm guard fired).
-    pub gbn_nack_suppressions: u64,
-    /// Own frames returned by the mesh bounce path (no route to the
-    /// destination under the link set in force).
-    pub gbn_bounces: u64,
-}
-
-/// Registry handles into the NIC's [`MetricSet`], one per [`NicStats`]
-/// counter. Resolved once at construction so every hot-path increment is
-/// an indexed vector add, never a name lookup.
-#[derive(Debug, Clone, Copy)]
-struct NicCounterIds {
-    packets_sent: CounterId,
-    bytes_sent: CounterId,
-    packets_received: CounterId,
-    bytes_received: CounterId,
-    merged_writes: CounterId,
-    single_write_packets: CounterId,
-    blocked_write_packets: CounterId,
-    dma_packets: CounterId,
-    crc_drops: CounterId,
-    misroutes: CounterId,
-    unmapped_drops: CounterId,
-    retransmissions: CounterId,
-    retx_timeouts: CounterId,
-    acks_sent: CounterId,
-    acks_received: CounterId,
-    nacks_sent: CounterId,
-    nacks_received: CounterId,
-    dup_drops: CounterId,
-    gap_drops: CounterId,
-    fault_stalls: CounterId,
-    gbn_retransmissions: CounterId,
-    gbn_backoff_resets: CounterId,
-    gbn_nack_suppressions: CounterId,
-    gbn_bounces: CounterId,
-}
-
-impl NicCounterIds {
-    /// Registers every NIC counter in `set`. The dotted names become
-    /// registry entries under the NIC's prefix, e.g.
-    /// `nic0.retx.timeouts`.
-    fn register(set: &mut MetricSet) -> Self {
-        NicCounterIds {
-            packets_sent: set.counter("packets_sent"),
-            bytes_sent: set.counter("bytes_sent"),
-            packets_received: set.counter("packets_received"),
-            bytes_received: set.counter("bytes_received"),
-            merged_writes: set.counter("merged_writes"),
-            single_write_packets: set.counter("single_write_packets"),
-            blocked_write_packets: set.counter("blocked_write_packets"),
-            dma_packets: set.counter("dma_packets"),
-            crc_drops: set.counter("crc_drops"),
-            misroutes: set.counter("misroutes"),
-            unmapped_drops: set.counter("unmapped_drops"),
-            retransmissions: set.counter("retx.retransmissions"),
-            retx_timeouts: set.counter("retx.timeouts"),
-            acks_sent: set.counter("retx.acks_sent"),
-            acks_received: set.counter("retx.acks_received"),
-            nacks_sent: set.counter("retx.nacks_sent"),
-            nacks_received: set.counter("retx.nacks_received"),
-            dup_drops: set.counter("retx.dup_drops"),
-            gap_drops: set.counter("retx.gap_drops"),
-            fault_stalls: set.counter("fault_stalls"),
-            // Go-back-N health rollup: one namespace a churn soak can
-            // assert recovery against. `gbn.retransmissions` mirrors
-            // `retx.retransmissions` so the namespace is self-contained.
-            gbn_retransmissions: set.counter("gbn.retransmissions"),
-            gbn_backoff_resets: set.counter("gbn.backoff_resets"),
-            gbn_nack_suppressions: set.counter("gbn.nack_suppressions"),
-            gbn_bounces: set.counter("gbn.bounces"),
-        }
-    }
-}
-
-/// Go-back-N sender state toward one destination node.
-#[derive(Debug, Clone)]
-struct SendPeer {
-    /// Sequence number the next new data frame will carry.
-    next_seq: u32,
-    /// Lowest unacknowledged sequence number.
-    base_seq: u32,
-    /// Frames `base_seq..next_seq`, retained until cumulatively acked.
-    unacked: std::collections::VecDeque<ShrimpPacket>,
-    /// When `Some(s)`, the engine is replaying `s..next_seq` ahead of any
-    /// new data.
-    resend_from: Option<u32>,
-    /// Current retransmit timeout (doubles on expiry, capped).
-    rto: SimDuration,
-    /// Deadline of the running retransmit timer, armed while frames are
-    /// outstanding.
-    timeout_at: Option<SimTime>,
-}
-
-impl SendPeer {
-    fn new(rto: SimDuration) -> Self {
-        SendPeer {
-            next_seq: 0,
-            base_seq: 0,
-            unacked: std::collections::VecDeque::new(),
-            resend_from: None,
-            rto,
-            timeout_at: None,
-        }
-    }
-}
-
-/// Go-back-N receiver state from one source node.
-#[derive(Debug, Clone, Default)]
-struct RecvPeer {
-    /// Next in-order sequence number wanted.
-    expected: u32,
-    /// Last sequence nacked, to suppress a nack storm while the same
-    /// hole drains; cleared on progress.
-    last_nacked: Option<u32>,
-}
-
-/// All go-back-N state of one NIC (present only when
-/// [`crate::RetxConfig::enabled`] is set).
-#[derive(Debug, Clone, Default)]
-struct RetxState {
-    /// Sender books, keyed by destination node id (BTreeMap for
-    /// deterministic iteration order).
-    send: BTreeMap<u16, SendPeer>,
-    /// Receiver books, keyed by source node id.
-    recv: BTreeMap<u16, RecvPeer>,
-}
-
-#[derive(Debug, Clone)]
-struct PendingBlocked {
-    dst_node: NodeId,
-    dst_base: PhysAddr,
-    src_page: PageNum,
-    next_offset: u64,
-    data: crate::arena::PoolBuf,
-    last_write: SimTime,
-}
+pub(crate) use crate::datapath::PendingBlocked;
+pub(crate) use crate::retx::RetxState;
+pub(crate) use crate::stats::NicCounterIds;
 
 /// The SHRIMP network interface of one node.
 ///
 /// See the crate-level docs for an example.
 #[derive(Debug, Clone)]
 pub struct NetworkInterface {
-    node: NodeId,
-    coord: MeshCoord,
-    shape: MeshShape,
-    config: NicConfig,
-    nipt: Nipt,
-    cmd_space: CommandSpace,
-    out_fifo: PacketFifo,
-    in_fifo: PacketFifo,
-    pending: Option<PendingBlocked>,
-    overflow: std::collections::VecDeque<ShrimpPacket>,
-    dma: DmaEngine,
-    interrupts: Vec<NicInterrupt>,
-    out_threshold_raised: bool,
+    pub(crate) node: NodeId,
+    pub(crate) coord: MeshCoord,
+    pub(crate) shape: MeshShape,
+    pub(crate) config: NicConfig,
+    pub(crate) nipt: Nipt,
+    pub(crate) cmd_space: CommandSpace,
+    pub(crate) out_fifo: PacketFifo,
+    pub(crate) in_fifo: PacketFifo,
+    pub(crate) pending: Option<PendingBlocked>,
+    pub(crate) overflow: std::collections::VecDeque<ShrimpPacket>,
+    pub(crate) dma: DmaEngine,
+    pub(crate) interrupts: Vec<NicInterrupt>,
+    pub(crate) out_threshold_raised: bool,
     /// Go-back-N engine state; `None` when retransmission is disabled.
-    retx: Option<RetxState>,
+    pub(crate) retx: Option<RetxState>,
     /// Pending ack/nack frames `(ready_at, dst, frame)`. Control frames
     /// bypass the data FIFO: the hardware generates them on the receive
     /// side and data backpressure must not block them (deadlock).
-    ctl_queue: std::collections::VecDeque<(SimTime, NodeId, ShrimpPacket)>,
+    pub(crate) ctl_queue: std::collections::VecDeque<(SimTime, NodeId, ShrimpPacket)>,
     /// Fault injection: transient receive stalls.
-    fault: Option<NicFaultSite>,
+    pub(crate) fault: Option<NicFaultSite>,
     /// While set, the NIC refuses packets from the network.
-    stall_until: Option<SimTime>,
+    pub(crate) stall_until: Option<SimTime>,
     /// Hot-path counters, read back via [`NetworkInterface::stats`] or a
-    /// [`MetricsRegistry`].
-    metrics: MetricSet,
+    /// [`shrimp_sim::MetricsRegistry`].
+    pub(crate) metrics: MetricSet,
     /// Handles into `metrics`, resolved once at construction.
-    ids: NicCounterIds,
+    pub(crate) ids: NicCounterIds,
     /// Typed trace sink (disabled by default: recording costs nothing).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Mirrors `in_fifo.over_threshold()` so threshold crossings emit
     /// exactly one raise/clear trace pair per backpressure episode.
-    in_threshold_traced: bool,
+    pub(crate) in_threshold_traced: bool,
 }
 
 impl NetworkInterface {
@@ -374,7 +131,7 @@ impl NetworkInterface {
     }
 
     /// This NIC's trace component id (`nic0`, `nic1`, …).
-    fn component(&self) -> ComponentId {
+    pub(crate) fn component(&self) -> ComponentId {
         ComponentId::nic(self.node.0)
     }
 
@@ -413,143 +170,9 @@ impl NetworkInterface {
         self.cmd_space
     }
 
-    /// Counters, rebuilt as a plain struct from the metric set (the
-    /// registry view is [`NetworkInterface::register_metrics`]).
-    pub fn stats(&self) -> NicStats {
-        let v = |id| self.metrics.get(id);
-        NicStats {
-            packets_sent: v(self.ids.packets_sent),
-            bytes_sent: v(self.ids.bytes_sent),
-            packets_received: v(self.ids.packets_received),
-            bytes_received: v(self.ids.bytes_received),
-            merged_writes: v(self.ids.merged_writes),
-            single_write_packets: v(self.ids.single_write_packets),
-            blocked_write_packets: v(self.ids.blocked_write_packets),
-            dma_packets: v(self.ids.dma_packets),
-            crc_drops: v(self.ids.crc_drops),
-            misroutes: v(self.ids.misroutes),
-            unmapped_drops: v(self.ids.unmapped_drops),
-            retransmissions: v(self.ids.retransmissions),
-            retx_timeouts: v(self.ids.retx_timeouts),
-            acks_sent: v(self.ids.acks_sent),
-            acks_received: v(self.ids.acks_received),
-            nacks_sent: v(self.ids.nacks_sent),
-            nacks_received: v(self.ids.nacks_received),
-            dup_drops: v(self.ids.dup_drops),
-            gap_drops: v(self.ids.gap_drops),
-            fault_stalls: v(self.ids.fault_stalls),
-            gbn_backoff_resets: v(self.ids.gbn_backoff_resets),
-            gbn_nack_suppressions: v(self.ids.gbn_nack_suppressions),
-            gbn_bounces: v(self.ids.gbn_bounces),
-        }
-    }
-
-    /// Registers this NIC's counters and FIFO gauges under `prefix`
-    /// (e.g. `nic0` → `nic0.packets_sent`, `nic0.fifo.out.occupancy`).
-    pub fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.extend_set(prefix, &self.metrics);
-        for (name, fifo) in [("out", &self.out_fifo), ("in", &self.in_fifo)] {
-            reg.set_gauge(format!("{prefix}.fifo.{name}.occupancy"), fifo.bytes() as f64);
-            reg.set_counter(format!("{prefix}.fifo.{name}.peak_bytes"), fifo.high_watermark());
-            reg.set_counter(format!("{prefix}.fifo.{name}.pushes"), fifo.pushes());
-            reg.set_counter(format!("{prefix}.fifo.{name}.rejections"), fifo.rejections());
-        }
-    }
-
     /// The DMA engine (primarily for inspection in tests and benches).
     pub fn dma(&self) -> &DmaEngine {
         &self.dma
-    }
-
-    // ───────────────────────── outgoing: snoop path ──────────────────────
-
-    /// Reacts to a snooped write transaction on the memory bus.
-    ///
-    /// `addr` must be a data (not command) address; the machine routes
-    /// command-space stores to [`NetworkInterface::command_write`].
-    pub fn snoop_write(&mut self, now: SimTime, addr: PhysAddr, data: &[u8]) -> SnoopOutcome {
-        // A pending blocked-write packet must be terminated by any
-        // non-mergeable intervening write.
-        let mergeable = self.pending.as_ref().is_some_and(|p| {
-            addr.page() == p.src_page
-                && addr.offset() == p.next_offset
-                && now.saturating_since(p.last_write) <= self.config.merge_window
-                && p.data.len() + data.len() <= self.config.max_payload as usize
-        });
-
-        let seg = match self.nipt.lookup_out(addr) {
-            Some(seg) if seg.policy.is_automatic() => *seg,
-            _ => {
-                // Deliberate pages and unmapped pages: plain memory write;
-                // but it still terminates a pending merge on another page?
-                // No: only writes the NIC captures interact with the merge
-                // buffer. Expire it on time alone.
-                self.poll(now);
-                return SnoopOutcome::Ignored;
-            }
-        };
-
-        match seg.policy {
-            UpdatePolicy::AutomaticSingle => {
-                self.flush_pending(now);
-                let dst = seg.translate(addr.offset());
-                self.metrics.incr(self.ids.single_write_packets);
-                // A snooped store is at most a word: the payload inlines.
-                self.queue_packet(
-                    now + self.config.packetize_latency,
-                    seg.dst_node,
-                    dst,
-                    Payload::copy_from_slice(data),
-                )
-            }
-            UpdatePolicy::AutomaticBlocked => {
-                if mergeable
-                    && self
-                        .pending
-                        .as_ref()
-                        .is_some_and(|p| p.dst_node == seg.dst_node)
-                {
-                    let p = self.pending.as_mut().expect("mergeable implies pending");
-                    p.data.vec_mut().extend_from_slice(data);
-                    p.next_offset += data.len() as u64;
-                    p.last_write = now;
-                    self.metrics.incr(self.ids.merged_writes);
-                    SnoopOutcome::Merged
-                } else {
-                    self.flush_pending(now);
-                    self.pending = Some(PendingBlocked {
-                        dst_node: seg.dst_node,
-                        dst_base: seg.translate(addr.offset()),
-                        src_page: addr.page(),
-                        next_offset: addr.offset() + data.len() as u64,
-                        data: {
-                            let mut buf = crate::arena::take(0);
-                            buf.vec_mut().extend_from_slice(data);
-                            buf
-                        },
-                        last_write: now,
-                    });
-                    SnoopOutcome::Merged
-                }
-            }
-            UpdatePolicy::Deliberate => unreachable!("filtered above"),
-        }
-    }
-
-    /// Terminates the pending blocked-write packet, if any, queueing it.
-    /// Returns true if a packet was flushed.
-    pub fn flush_pending(&mut self, now: SimTime) -> bool {
-        let Some(p) = self.pending.take() else {
-            return false;
-        };
-        self.metrics.incr(self.ids.blocked_write_packets);
-        self.queue_packet(
-            now + self.config.packetize_latency,
-            p.dst_node,
-            p.dst_base,
-            Payload::from(p.data),
-        );
-        true
     }
 
     /// Housekeeping: expires the blocked-write merge window and retries
@@ -567,61 +190,7 @@ impl NetworkInterface {
         if self.stall_until.is_some_and(|s| now >= s) {
             self.stall_until = None;
         }
-        if let Some(st) = self.retx.as_mut() {
-            let max_rto = self.config.retx.max_timeout;
-            let base_rto = self.config.retx.base_timeout;
-            let component = ComponentId::nic(self.node.0);
-            for (&peer_id, peer) in st.send.iter_mut() {
-                if peer.unacked.is_empty() {
-                    peer.timeout_at = None;
-                    peer.resend_from = None;
-                } else if peer.timeout_at.is_some_and(|t| now >= t) {
-                    // Nothing came back in time: go back to the window
-                    // base and double the timeout (capped).
-                    peer.resend_from = Some(peer.base_seq);
-                    peer.rto = (peer.rto * 2).min(max_rto);
-                    peer.timeout_at = Some(now + peer.rto);
-                    self.metrics.incr(self.ids.retx_timeouts);
-                    if self.tracer.wants(TraceLevel::Warn) {
-                        let attempt =
-                            (peer.rto.as_picos() / base_rto.as_picos().max(1)).max(1) as u32;
-                        self.tracer.emit(
-                            now,
-                            TraceLevel::Warn,
-                            component,
-                            TraceData::RetxTimeout {
-                                peer: peer_id,
-                                base_seq: peer.base_seq,
-                                attempt,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// Moves stalled packets into the Outgoing FIFO as space frees,
-    /// preserving order.
-    ///
-    /// A stalled deliberate-update packet may still be waiting on its
-    /// DMA read: `stamp.born` is the engine's `done_at`, possibly in the
-    /// future. Re-entering the FIFO at the refill instant would let the
-    /// packet inject before its data exists, which the born clamp at the
-    /// pop sites then papers over by rewriting `born` backwards. Refill
-    /// at `max(now, born)` instead, matching the ready time the packet
-    /// would have had without the overflow detour.
-    fn refill_from_overflow(&mut self, now: SimTime) {
-        while let Some(pkt) = self.overflow.front() {
-            if !self.out_fifo.would_fit(pkt.wire_len()) {
-                break;
-            }
-            let pkt = self.overflow.pop_front().expect("front checked above");
-            let ready = now.max(pkt.stamp.born);
-            self.out_fifo
-                .try_push(ready, pkt)
-                .expect("would_fit checked above");
-        }
+        self.poll_retx(now);
     }
 
     /// The next time-based deadline this NIC needs a `poll` at: merge
@@ -645,1301 +214,8 @@ impl NetworkInterface {
         deadline
     }
 
-    fn queue_packet(
-        &mut self,
-        ready_at: SimTime,
-        dst_node: NodeId,
-        dst_addr: PhysAddr,
-        data: Payload,
-    ) -> SnoopOutcome {
-        self.metrics.incr(self.ids.packets_sent);
-        self.metrics.add(self.ids.bytes_sent, data.len() as u64);
-        let mut packet = ShrimpPacket::new(
-            WireHeader {
-                dst_coord: self.shape.coord_of(dst_node),
-                src: self.node,
-                dst_addr,
-            },
-            data,
-        );
-        packet.stamp.born = ready_at;
-        match self.out_fifo.try_push(ready_at, packet) {
-            Ok(()) => {
-                if self.out_fifo.over_threshold() && !self.out_threshold_raised {
-                    self.out_threshold_raised = true;
-                    self.interrupts.push(NicInterrupt::OutgoingThreshold);
-                    self.trace_out_threshold(ready_at, true);
-                }
-                SnoopOutcome::Queued
-            }
-            Err(packet) => {
-                self.overflow.push_back(packet);
-                if !self.out_threshold_raised {
-                    self.out_threshold_raised = true;
-                    self.interrupts.push(NicInterrupt::OutgoingThreshold);
-                    self.trace_out_threshold(ready_at, true);
-                }
-                SnoopOutcome::Stalled
-            }
-        }
-    }
-
-    /// Emits an out-FIFO backpressure raise/clear trace event.
-    fn trace_out_threshold(&mut self, at: SimTime, raised: bool) {
-        if self.tracer.wants(TraceLevel::Info) {
-            let component = self.component();
-            let occupancy = self.out_fifo.bytes();
-            self.tracer.emit(
-                at,
-                TraceLevel::Info,
-                component,
-                TraceData::FifoThreshold {
-                    fifo: "out",
-                    raised,
-                    occupancy,
-                },
-            );
-        }
-    }
-
-    /// Clears the out-FIFO backpressure flag (tracing the transition)
-    /// once the FIFO has drained below its threshold.
-    fn clear_out_threshold(&mut self, now: SimTime) {
-        if self.out_threshold_raised && !self.out_fifo.over_threshold() {
-            self.out_threshold_raised = false;
-            self.trace_out_threshold(now, false);
-        }
-    }
-
-    /// Emits an in-FIFO backpressure trace event on threshold crossings.
-    /// Call after any Incoming FIFO push or pop.
-    fn trace_in_threshold(&mut self, now: SimTime) {
-        if !self.tracer.wants(TraceLevel::Info) {
-            return;
-        }
-        let over = self.in_fifo.over_threshold();
-        if over != self.in_threshold_traced {
-            self.in_threshold_traced = over;
-            let component = self.component();
-            let occupancy = self.in_fifo.bytes();
-            self.tracer.emit(
-                now,
-                TraceLevel::Info,
-                component,
-                TraceData::FifoThreshold {
-                    fifo: "in",
-                    raised: over,
-                    occupancy,
-                },
-            );
-        }
-    }
-
-    // ───────────────────────── outgoing: FIFO → mesh ─────────────────────
-
-    /// When the head outgoing packet (data or link control) becomes
-    /// ready for injection, if any. The `try_push` timestamp doubles as
-    /// the readiness time; pending retransmissions are ready immediately.
-    pub fn outgoing_ready_at(&self) -> Option<SimTime> {
-        let mut ready = self.out_fifo.peek_with_time().map(|(_, t)| t);
-        if let Some((t, _, _)) = self.ctl_queue.front() {
-            ready = Some(ready.map_or(*t, |r| r.min(*t)));
-        }
-        if let Some(st) = &self.retx {
-            if st.send.values().any(|p| p.resend_from.is_some()) {
-                ready = Some(SimTime::ZERO);
-            }
-        }
-        ready
-    }
-
-    /// Pops the next outgoing mesh packet if one is ready by `now`:
-    /// ack/nack control frames first, then pending go-back-N resends,
-    /// then new data from the Outgoing FIFO (held back while the
-    /// destination's retransmit window is full — that backpressure is
-    /// what eventually stalls the CPU, per the paper's flow-control
-    /// chain). The packet is handed to the mesh whole — no serialization.
-    pub fn pop_outgoing(&mut self, now: SimTime) -> Option<MeshPacket<ShrimpPacket>> {
-        if let Some((ready, _, _)) = self.ctl_queue.front() {
-            if *ready <= now {
-                let (_, dst, frame) = self.ctl_queue.pop_front().expect("front checked above");
-                return Some(MeshPacket::new(self.node, dst, frame));
-            }
-        }
-        if self.retx.is_some() {
-            if let Some(mp) = self.pop_resend(now) {
-                return Some(mp);
-            }
-        }
-        let (head, ready) = self.out_fifo.peek_with_time()?;
-        if ready > now {
-            return None;
-        }
-        if self.retx.is_some() {
-            let dst = self.shape.id_at(head.header().dst_coord);
-            let base_rto = self.config.retx.base_timeout;
-            let window = self.config.retx.window_packets;
-            let st = self.retx.as_mut().expect("checked above");
-            let peer = st
-                .send
-                .entry(dst.0)
-                .or_insert_with(|| SendPeer::new(base_rto));
-            if peer.unacked.len() >= window {
-                // Retransmit buffer full: stop draining until acks or a
-                // timeout free it.
-                return None;
-            }
-            let (packet, _) = self.out_fifo.pop().expect("head peeked above");
-            let seq = peer.next_seq;
-            peer.next_seq += 1;
-            let stamp = packet.stamp;
-            let mut framed = ShrimpPacket::with_link(
-                *packet.header(),
-                packet.into_payload(),
-                LinkCtl {
-                    kind: FrameKind::Data,
-                    seq,
-                },
-            );
-            framed.stamp = stamp;
-            framed.stamp.injected = now;
-            // Defensive: refill_from_overflow preserves `born` as the
-            // ready time, so injection can no longer precede it; the
-            // clamp only degrades gracefully if that invariant breaks.
-            framed.stamp.born = framed.stamp.born.min(now);
-            peer.unacked.push_back(framed.clone());
-            peer.timeout_at = Some(now + peer.rto);
-            self.refill_from_overflow(now);
-            self.clear_out_threshold(now);
-            return Some(MeshPacket::new(self.node, dst, framed));
-        }
-        let (mut packet, _) = self.out_fifo.pop()?;
-        packet.stamp.injected = now;
-        packet.stamp.born = packet.stamp.born.min(now);
-        let dst = self.shape.id_at(packet.header().dst_coord);
-        // Space freed: stalled packets enter the FIFO now.
-        self.refill_from_overflow(now);
-        self.clear_out_threshold(now);
-        Some(MeshPacket::new(self.node, dst, packet))
-    }
-
-    /// True when link-level control frames or go-back-N replays are
-    /// waiting to be injected. Always false with retransmission off, so
-    /// callers can gate extra drain passes on it for free.
-    pub fn has_pending_control(&self) -> bool {
-        !self.ctl_queue.is_empty()
-            || self
-                .retx
-                .as_ref()
-                .is_some_and(|st| st.send.values().any(|p| p.resend_from.is_some()))
-    }
-
-    /// Emits the next frame of an in-progress go-back-N replay, if any.
-    fn pop_resend(&mut self, now: SimTime) -> Option<MeshPacket<ShrimpPacket>> {
-        let node = self.node;
-        let st = self.retx.as_mut()?;
-        for (&peer_id, peer) in st.send.iter_mut() {
-            let Some(from) = peer.resend_from else {
-                continue;
-            };
-            let idx = from.wrapping_sub(peer.base_seq) as usize;
-            if idx >= peer.unacked.len() {
-                peer.resend_from = None;
-                continue;
-            }
-            let mut framed = peer.unacked[idx].clone();
-            framed.stamp.injected = now;
-            let next = from + 1;
-            let more = (next.wrapping_sub(peer.base_seq) as usize) < peer.unacked.len();
-            peer.resend_from = more.then_some(next);
-            peer.timeout_at = Some(now + peer.rto);
-            self.metrics.incr(self.ids.retransmissions);
-            self.metrics.incr(self.ids.gbn_retransmissions);
-            if self.tracer.wants(TraceLevel::Warn) {
-                self.tracer.emit(
-                    now,
-                    TraceLevel::Warn,
-                    ComponentId::nic(node.0),
-                    TraceData::Retransmit { peer: peer_id, seq: from },
-                );
-            }
-            return Some(MeshPacket::new(node, NodeId(peer_id), framed));
-        }
-        None
-    }
-
-    /// True while the Outgoing FIFO is over its threshold — the CPU must
-    /// not issue further mapped writes (paper §4).
-    pub fn cpu_must_stall(&self) -> bool {
-        self.out_fifo.over_threshold() || !self.overflow.is_empty()
-    }
-
-    // ───────────────────────── command space ─────────────────────────────
-
-    /// True if `addr` is one of this NIC's command addresses.
-    pub fn is_command_addr(&self, addr: PhysAddr) -> bool {
-        self.cmd_space.contains(addr)
-    }
-
-    /// A read cycle on a command address: the DMA status word (§4.3).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is not a command address.
-    pub fn command_read(&mut self, now: SimTime, addr: PhysAddr) -> u32 {
-        let data_addr = self
-            .cmd_space
-            .data_addr_for(addr)
-            .expect("command_read on a non-command address");
-        self.dma.status(now, data_addr).0
-    }
-
-    /// A write cycle on a command address.
-    ///
-    /// For a deliberate-update start the NIC needs to read the source
-    /// region from main memory; `mem_read` performs that read over the
-    /// memory bus and returns the payload plus the bus completion time.
-    /// Callers fill an [`arena`](crate::arena) buffer so the hot path
-    /// recycles allocations instead of growing the heap per packet.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NicError::Malformed`] for an undecodable command,
-    /// [`NicError::NotDeliberateMapped`] /
-    /// [`NicError::CrossesPageBoundary`] for invalid transfers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is not a command address.
-    pub fn command_write(
-        &mut self,
-        now: SimTime,
-        addr: PhysAddr,
-        value: u32,
-        mem_read: impl FnOnce(PhysAddr, u64) -> (Payload, SimTime),
-    ) -> Result<CommandEffect, NicError> {
-        let data_addr = self
-            .cmd_space
-            .data_addr_for(addr)
-            .expect("command_write on a non-command address");
-        match CommandOp::decode(value)? {
-            CommandOp::StartTransfer { words } => {
-                self.start_deliberate(now, data_addr, words, mem_read)
-            }
-            CommandOp::SetPolicy(policy) => {
-                let page = data_addr.page();
-                let seg = self
-                    .nipt
-                    .entry(page)
-                    .and_then(|e| e.segment_at(data_addr.offset()))
-                    .copied()
-                    .ok_or(NicError::NotDeliberateMapped { addr: data_addr })?;
-                self.nipt
-                    .set_out_segment(page, OutSegment { policy, ..seg })?;
-                Ok(CommandEffect::PolicyChanged)
-            }
-            CommandOp::ArmInterrupt => {
-                self.nipt.set_interrupt_on_arrival(data_addr.page(), true)?;
-                Ok(CommandEffect::InterruptToggled)
-            }
-            CommandOp::DisarmInterrupt => {
-                self.nipt.set_interrupt_on_arrival(data_addr.page(), false)?;
-                Ok(CommandEffect::InterruptToggled)
-            }
-        }
-    }
-
-    fn start_deliberate(
-        &mut self,
-        now: SimTime,
-        src: PhysAddr,
-        words: u32,
-        mem_read: impl FnOnce(PhysAddr, u64) -> (Payload, SimTime),
-    ) -> Result<CommandEffect, NicError> {
-        let len = words as u64 * WORD_SIZE;
-        if src.offset() + len > shrimp_mem::PAGE_SIZE {
-            return Err(NicError::CrossesPageBoundary);
-        }
-        if len > self.config.max_payload {
-            return Err(NicError::CrossesPageBoundary);
-        }
-        let seg = match self.nipt.lookup_out(src) {
-            Some(seg) if seg.policy == UpdatePolicy::Deliberate => *seg,
-            _ => return Err(NicError::NotDeliberateMapped { addr: src }),
-        };
-        if src.offset() + len > seg.src_end {
-            return Err(NicError::BadMapping("transfer extends past the mapped segment"));
-        }
-        if !self.dma.is_idle(now) {
-            return Ok(CommandEffect::DmaBusy);
-        }
-        // The DMA engine reads the region from memory; the snooping
-        // datapath captures the data (paper §4.3).
-        let (data, read_done) = mem_read(src, len);
-        assert_eq!(data.len() as u64, len, "mem_read returned wrong length");
-        let done_at = read_done + self.config.dma_setup;
-        let started = self.dma.start(now, src, words, done_at);
-        debug_assert!(started, "engine was idle");
-        let dst = seg.translate(src.offset());
-        self.metrics.incr(self.ids.dma_packets);
-        // One buffer from here on: the pooled buffer read from memory is
-        // the refcounted payload shared by FIFO, mesh and delivery DMA,
-        // and returns to the arena when the last stage drops it.
-        self.queue_packet(done_at, seg.dst_node, dst, data);
-        Ok(CommandEffect::DmaStarted { done_at })
-    }
-
-    // ───────────────────────── incoming path ─────────────────────────────
-
-    /// True while the NIC accepts packets from the network. Below the
-    /// Incoming FIFO threshold only (paper §4).
-    pub fn can_accept_from_network(&self) -> bool {
-        !self.in_fifo.over_threshold()
-    }
-
-    /// [`NetworkInterface::can_accept_from_network`], additionally
-    /// honouring an injected transient receive stall at time `now`.
-    pub fn can_accept_from_network_at(&self, now: SimTime) -> bool {
-        self.stall_until.is_none_or(|s| now >= s) && self.can_accept_from_network()
-    }
-
-    /// Accepts one packet from the mesh: verifies routing and CRC, then
-    /// either consumes it (link-level ack/nack), sequence-checks it
-    /// (go-back-N data frame) or queues it straight on the Incoming FIFO
-    /// (legacy unframed packet). The CRC check recomputes the checksum
-    /// over header, payload and trailer slices — no wire buffer exists.
-    ///
-    /// # Errors
-    ///
-    /// Returns the verification error; the packet is dropped and counted.
-    /// A lost data frame is *not* an error here: go-back-N recovers it
-    /// invisibly via nack or timeout.
-    pub fn accept_packet(
-        &mut self,
-        now: SimTime,
-        packet: MeshPacket<ShrimpPacket>,
-    ) -> Result<(), NicError> {
-        let mut packet = packet.into_payload();
-        if !packet.verify_crc() {
-            // Corruption anywhere (header, payload, seq trailer) lands
-            // here; with go-back-N on, the sender's timeout or a later
-            // gap-nack triggers the resend.
-            self.metrics.incr(self.ids.crc_drops);
-            return Err(NicError::BadCrc);
-        }
-        if packet.header().src == self.node && packet.header().dst_coord != self.coord {
-            // One of our own frames came home: the mesh bounced it
-            // because no legal route to its destination existed under
-            // the current link set (or its link died mid-flight).
-            return self.accept_bounce(now, &packet);
-        }
-        if packet.header().dst_coord != self.coord {
-            self.metrics.incr(self.ids.misroutes);
-            return Err(NicError::WrongDestination {
-                packet: packet.header().dst_coord,
-                local: self.coord,
-            });
-        }
-        self.maybe_stall_after_arrival(now);
-        packet.stamp.accepted = now;
-        let src = packet.header().src;
-        match packet.link() {
-            None => {
-                self.metrics.incr(self.ids.packets_received);
-                self.metrics.add(self.ids.bytes_received, packet.payload().len() as u64);
-                let pushed = self
-                    .in_fifo
-                    .try_push(now, packet)
-                    .map_err(|_| NicError::IncomingFifoFull);
-                self.trace_in_threshold(now);
-                pushed
-            }
-            Some(LinkCtl {
-                kind: FrameKind::Ack,
-                seq,
-            }) => {
-                self.metrics.incr(self.ids.acks_received);
-                self.handle_ack(now, src, seq);
-                Ok(())
-            }
-            Some(LinkCtl {
-                kind: FrameKind::Nack,
-                seq,
-            }) => {
-                self.metrics.incr(self.ids.nacks_received);
-                self.handle_nack(now, src, seq);
-                Ok(())
-            }
-            Some(LinkCtl {
-                kind: FrameKind::Data,
-                seq,
-            }) => self.accept_data_frame(now, src, seq, packet),
-        }
-    }
-
-    /// Handles one of our own frames returned by the mesh bounce path.
-    ///
-    /// For a data frame the send window toward its destination is still
-    /// holding it (nothing was acked), so recovery is a rewind: reset
-    /// the loss backoff — the fabric is *down*, not lossy, and
-    /// escalation would only delay recovery past the repair — cancel
-    /// any pending replay, and arm a flat-rate retry
-    /// [`crate::RetxConfig::reroute_backoff`] from now. Every further
-    /// bounce re-arms the same pacing, so the engine probes the fabric
-    /// at a constant rate until a route exists again. Bounced ack/nack
-    /// frames are simply dropped: the data path's own timers recover.
-    fn accept_bounce(&mut self, now: SimTime, packet: &ShrimpPacket) -> Result<(), NicError> {
-        self.metrics.incr(self.ids.gbn_bounces);
-        let base_rto = self.config.retx.base_timeout;
-        let pace = self.config.retx.reroute_backoff;
-        if let Some(LinkCtl { kind: FrameKind::Data, .. }) = packet.link() {
-            let dst = self.shape.id_at(packet.header().dst_coord);
-            if let Some(peer) = self.retx.as_mut().and_then(|st| st.send.get_mut(&dst.0)) {
-                if !peer.unacked.is_empty() {
-                    peer.rto = base_rto;
-                    peer.resend_from = None;
-                    peer.timeout_at = Some(now + pace);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Sequence-checks one framed data packet against the per-source
-    /// receiver book: in-order frames are delivered and acked, duplicates
-    /// re-acked, gaps nacked (once per hole).
-    fn accept_data_frame(
-        &mut self,
-        now: SimTime,
-        src: NodeId,
-        seq: u32,
-        packet: ShrimpPacket,
-    ) -> Result<(), NicError> {
-        let Some(st) = self.retx.as_mut() else {
-            // A framed packet with the local engine off (mixed
-            // configuration): deliver it like a legacy packet.
-            self.metrics.incr(self.ids.packets_received);
-            self.metrics.add(self.ids.bytes_received, packet.payload().len() as u64);
-            let pushed = self
-                .in_fifo
-                .try_push(now, packet)
-                .map_err(|_| NicError::IncomingFifoFull);
-            self.trace_in_threshold(now);
-            return pushed;
-        };
-        let peer = st.recv.entry(src.0).or_default();
-        let expected = peer.expected;
-        if seq == expected {
-            let payload_len = packet.payload().len() as u64;
-            if let Err(packet) = self.in_fifo.try_push(now, packet) {
-                // FIFO full: drop without advancing; the sender's
-                // timeout replays it once we drain.
-                drop(packet);
-                return Err(NicError::IncomingFifoFull);
-            }
-            self.metrics.incr(self.ids.packets_received);
-            self.metrics.add(self.ids.bytes_received, payload_len);
-            let st = self.retx.as_mut().expect("engine checked above");
-            let peer = st.recv.get_mut(&src.0).expect("entry created above");
-            peer.expected = expected + 1;
-            peer.last_nacked = None;
-            let ack = peer.expected;
-            self.queue_control(now, src, FrameKind::Ack, ack);
-            self.trace_in_threshold(now);
-            Ok(())
-        } else if seq < expected {
-            // Already delivered (a replayed frame): re-ack so a lost ack
-            // cannot stall the sender forever.
-            self.metrics.incr(self.ids.dup_drops);
-            self.queue_control(now, src, FrameKind::Ack, expected);
-            Ok(())
-        } else {
-            // Gap: a predecessor died on the wire. Request a replay from
-            // the hole, but only once per hole — the frames already in
-            // flight behind it would each re-trigger it otherwise.
-            self.metrics.incr(self.ids.gap_drops);
-            let nack = peer.last_nacked != Some(expected);
-            peer.last_nacked = Some(expected);
-            if nack {
-                self.queue_control(now, src, FrameKind::Nack, expected);
-            } else {
-                self.metrics.incr(self.ids.gbn_nack_suppressions);
-            }
-            Ok(())
-        }
-    }
-
-    /// Cumulative ack: every sequence below `seq` has arrived at `peer`.
-    fn handle_ack(&mut self, now: SimTime, peer_node: NodeId, seq: u32) {
-        let base_rto = self.config.retx.base_timeout;
-        let Some(st) = self.retx.as_mut() else {
-            return;
-        };
-        let Some(peer) = st.send.get_mut(&peer_node.0) else {
-            return;
-        };
-        let mut progressed = false;
-        while peer.base_seq < seq && !peer.unacked.is_empty() {
-            peer.unacked.pop_front();
-            peer.base_seq += 1;
-            progressed = true;
-        }
-        if progressed {
-            // Progress restarts the timer and resets the backoff.
-            if peer.rto > base_rto {
-                self.metrics.incr(self.ids.gbn_backoff_resets);
-            }
-            peer.rto = base_rto;
-            peer.timeout_at = if peer.unacked.is_empty() {
-                None
-            } else {
-                Some(now + peer.rto)
-            };
-            if let Some(r) = peer.resend_from {
-                let r = r.max(peer.base_seq);
-                let live = (r.wrapping_sub(peer.base_seq) as usize) < peer.unacked.len();
-                peer.resend_from = live.then_some(r);
-            }
-        }
-    }
-
-    /// Go-back-N request: replay everything from `seq` on. Also carries
-    /// the cumulative-ack meaning for sequences below `seq`.
-    fn handle_nack(&mut self, now: SimTime, peer_node: NodeId, seq: u32) {
-        self.handle_ack(now, peer_node, seq);
-        let Some(st) = self.retx.as_mut() else {
-            return;
-        };
-        let Some(peer) = st.send.get_mut(&peer_node.0) else {
-            return;
-        };
-        if seq >= peer.base_seq && !peer.unacked.is_empty() {
-            peer.resend_from = Some(peer.base_seq);
-            peer.timeout_at = Some(now + peer.rto);
-        }
-    }
-
-    /// Queues a link-level control frame for immediate injection.
-    fn queue_control(&mut self, now: SimTime, dst: NodeId, kind: FrameKind, seq: u32) {
-        match kind {
-            FrameKind::Ack => self.metrics.incr(self.ids.acks_sent),
-            FrameKind::Nack => self.metrics.incr(self.ids.nacks_sent),
-            FrameKind::Data => unreachable!("data frames travel via the FIFO"),
-        }
-        let frame = ShrimpPacket::control(self.shape.coord_of(dst), self.node, kind, seq);
-        self.ctl_queue.push_back((now, dst, frame));
-    }
-
-    /// Fault injection: after each good arrival, the receive port may
-    /// wedge shut for a while.
-    fn maybe_stall_after_arrival(&mut self, now: SimTime) {
-        if let Some(site) = self.fault.as_mut() {
-            if let Some(d) = site.decide_stall() {
-                let until = now + d;
-                if self.stall_until.is_none_or(|s| until > s) {
-                    self.stall_until = Some(until);
-                }
-                self.metrics.incr(self.ids.fault_stalls);
-            }
-        }
-    }
-
-    /// Pops the head of the Incoming FIFO once it has cleared the receive
-    /// pipeline, yielding the memory transfer to perform — or an error if
-    /// the addressed page is not mapped in (the packet is dropped and a
-    /// [`NicInterrupt::BadDelivery`] is raised).
-    pub fn pop_incoming(&mut self, now: SimTime) -> Option<Result<IncomingDelivery, NicError>> {
-        let ready_at = {
-            let (_, pushed) = self.in_fifo.peek_with_time()?;
-            pushed + self.config.receive_latency
-        };
-        if ready_at > now {
-            return None;
-        }
-        let (packet, _) = self.in_fifo.pop().expect("head checked above");
-        self.trace_in_threshold(now);
-        let page = packet.header().dst_addr.page();
-        if !self.nipt.is_mapped_in(page) {
-            self.metrics.incr(self.ids.unmapped_drops);
-            self.interrupts.push(NicInterrupt::BadDelivery);
-            return Some(Err(NicError::NotMappedIn { page }));
-        }
-        let interrupt = self.nipt.take_interrupt_request(page);
-        if interrupt {
-            self.interrupts.push(NicInterrupt::DataArrival { page });
-        }
-        let src = packet.header().src;
-        let dst_addr = packet.header().dst_addr;
-        let stamp = packet.stamp;
-        Some(Ok(IncomingDelivery {
-            dst_addr,
-            data: packet.into_payload(),
-            ready_at,
-            src,
-            interrupt,
-            stamp,
-        }))
-    }
-
-    /// When the head incoming packet clears the receive pipeline, if any.
-    pub fn incoming_ready_at(&self) -> Option<SimTime> {
-        self.in_fifo.peek_with_time()
-            .map(|(_, pushed)| pushed + self.config.receive_latency)
-    }
-
     /// Drains raised interrupts.
     pub fn take_interrupts(&mut self) -> Vec<NicInterrupt> {
         std::mem::take(&mut self.interrupts)
-    }
-
-    /// Outgoing FIFO occupancy in bytes (for flow-control benches).
-    pub fn out_fifo_bytes(&self) -> u64 {
-        self.out_fifo.bytes()
-    }
-
-    /// Incoming FIFO occupancy in bytes.
-    pub fn in_fifo_bytes(&self) -> u64 {
-        self.in_fifo.bytes()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use shrimp_mem::PAGE_SIZE;
-    use shrimp_sim::SimDuration;
-
-    fn shape() -> MeshShape {
-        MeshShape::new(2, 2)
-    }
-
-    fn nic() -> NetworkInterface {
-        NetworkInterface::new(NodeId(0), shape(), NicConfig::default(), 64)
-    }
-
-    fn t(ns: u64) -> SimTime {
-        SimTime::ZERO + SimDuration::from_ns(ns)
-    }
-
-    fn map_out(n: &mut NetworkInterface, page: u64, dst: u16, dst_page: u64, policy: UpdatePolicy) {
-        n.nipt_mut()
-            .set_out_segment(
-                PageNum::new(page),
-                OutSegment::full_page(NodeId(dst), PageNum::new(dst_page), policy),
-            )
-            .unwrap();
-    }
-
-    #[test]
-    fn single_write_becomes_a_packet() {
-        let mut n = nic();
-        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
-        let addr = PageNum::new(2).at_offset(16);
-        let out = n.snoop_write(t(0), addr, &7u32.to_le_bytes());
-        assert_eq!(out, SnoopOutcome::Queued);
-        // Not ready before packetize latency.
-        assert!(n.pop_outgoing(t(0)).is_none());
-        let mp = n.pop_outgoing(t(1000)).expect("ready after packetize");
-        assert_eq!(mp.dst(), NodeId(1));
-        let packet = mp.into_payload();
-        assert!(packet.verify_crc());
-        assert_eq!(packet.header().dst_addr, PageNum::new(9).at_offset(16));
-        assert_eq!(packet.payload(), &7u32.to_le_bytes());
-        assert!(
-            matches!(packet.into_payload(), Payload::Inline { len: 4, .. }),
-            "a snooped word must not allocate"
-        );
-        assert_eq!(n.stats().single_write_packets, 1);
-    }
-
-    #[test]
-    fn unmapped_write_is_ignored() {
-        let mut n = nic();
-        assert_eq!(
-            n.snoop_write(t(0), PhysAddr::new(0), &[1, 2, 3, 4]),
-            SnoopOutcome::Ignored
-        );
-        assert_eq!(n.stats().packets_sent, 0);
-    }
-
-    #[test]
-    fn deliberate_page_writes_are_ignored_by_snoop() {
-        let mut n = nic();
-        map_out(&mut n, 2, 1, 9, UpdatePolicy::Deliberate);
-        assert_eq!(
-            n.snoop_write(t(0), PageNum::new(2).base(), &[0; 4]),
-            SnoopOutcome::Ignored
-        );
-    }
-
-    #[test]
-    fn blocked_writes_merge_when_consecutive() {
-        let mut n = nic();
-        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
-        let base = PageNum::new(3).base();
-        assert_eq!(n.snoop_write(t(0), base, &[1; 4]), SnoopOutcome::Merged);
-        assert_eq!(n.snoop_write(t(100), base.add(4), &[2; 4]), SnoopOutcome::Merged);
-        assert_eq!(n.snoop_write(t(200), base.add(8), &[3; 4]), SnoopOutcome::Merged);
-        assert_eq!(n.stats().merged_writes, 2);
-        // Nothing sent yet.
-        assert!(n.pop_outgoing(t(10_000)).is_none());
-        // Window expiry flushes one packet with all 12 bytes.
-        n.poll(t(1000));
-        let mp = n.pop_outgoing(t(10_000)).expect("flushed");
-        assert_eq!(mp.payload().payload().len(), 12);
-        assert_eq!(n.stats().blocked_write_packets, 1);
-    }
-
-    #[test]
-    fn non_consecutive_blocked_write_starts_new_packet() {
-        let mut n = nic();
-        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
-        let base = PageNum::new(3).base();
-        n.snoop_write(t(0), base, &[1; 4]);
-        // Skip a word: must terminate the first packet.
-        n.snoop_write(t(50), base.add(12), &[2; 4]);
-        n.poll(t(5000));
-        let a = n.pop_outgoing(t(100_000)).unwrap();
-        let b = n.pop_outgoing(t(100_000)).unwrap();
-        assert_eq!(a.payload().payload().len(), 4);
-        assert_eq!(b.payload().payload().len(), 4);
-    }
-
-    #[test]
-    fn merge_window_expiry_splits_packets() {
-        let mut n = nic();
-        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
-        let base = PageNum::new(3).base();
-        n.snoop_write(t(0), base, &[1; 4]);
-        // Longer than the 500ns window later:
-        n.snoop_write(t(2000), base.add(4), &[2; 4]);
-        n.poll(t(10_000));
-        assert_eq!(n.stats().blocked_write_packets, 2);
-    }
-
-    #[test]
-    fn single_write_flushes_pending_blocked_packet_first() {
-        let mut n = nic();
-        map_out(&mut n, 3, 1, 9, UpdatePolicy::AutomaticBlocked);
-        map_out(&mut n, 4, 1, 10, UpdatePolicy::AutomaticSingle);
-        n.snoop_write(t(0), PageNum::new(3).base(), &[1; 4]);
-        n.snoop_write(t(10), PageNum::new(4).base(), &[2; 4]);
-        // Both packets must be queued, blocked first.
-        let first = n.pop_outgoing(t(100_000)).unwrap();
-        let second = n.pop_outgoing(t(100_000)).unwrap();
-        assert_eq!(first.payload().header().dst_addr.page(), PageNum::new(9));
-        assert_eq!(second.payload().header().dst_addr.page(), PageNum::new(10));
-    }
-
-    #[test]
-    fn split_page_translates_via_correct_segment() {
-        let mut n = nic();
-        n.nipt_mut()
-            .set_out_segment(
-                PageNum::new(5),
-                OutSegment {
-                    src_start: 0,
-                    src_end: 2048,
-                    dst_node: NodeId(1),
-                    dst_base: PageNum::new(8).at_offset(2048),
-                    policy: UpdatePolicy::AutomaticSingle,
-                },
-            )
-            .unwrap();
-        n.nipt_mut()
-            .set_out_segment(
-                PageNum::new(5),
-                OutSegment {
-                    src_start: 2048,
-                    src_end: PAGE_SIZE,
-                    dst_node: NodeId(2),
-                    dst_base: PageNum::new(3).base(),
-                    policy: UpdatePolicy::AutomaticSingle,
-                },
-            )
-            .unwrap();
-        n.snoop_write(t(0), PageNum::new(5).at_offset(0), &[0; 4]);
-        n.snoop_write(t(1), PageNum::new(5).at_offset(2048), &[0; 4]);
-        let a = n.pop_outgoing(t(100_000)).unwrap();
-        let b = n.pop_outgoing(t(100_000)).unwrap();
-        assert_eq!(a.dst(), NodeId(1));
-        assert_eq!(
-            a.payload().header().dst_addr,
-            PageNum::new(8).at_offset(2048)
-        );
-        assert_eq!(b.dst(), NodeId(2));
-        assert_eq!(b.payload().header().dst_addr, PageNum::new(3).base());
-    }
-
-    #[test]
-    fn deliberate_update_full_protocol() {
-        let mut n = nic();
-        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
-        let data_addr = PageNum::new(6).base();
-        let cmd_addr = n.command_space().command_addr_for(data_addr);
-        assert!(n.is_command_addr(cmd_addr));
-        // Read phase: engine free → 0.
-        assert_eq!(n.command_read(t(0), cmd_addr), 0);
-        // Write phase: start 256 words.
-        let effect = n
-            .command_write(t(0), cmd_addr, 256, |src, len| {
-                assert_eq!(src, data_addr);
-                assert_eq!(len, 1024);
-                (Payload::from(vec![0x5a; 1024]), t(500))
-            })
-            .unwrap();
-        let CommandEffect::DmaStarted { done_at } = effect else {
-            panic!("expected DmaStarted, got {effect:?}");
-        };
-        assert!(done_at > t(500));
-        // While busy: status shows remaining words and base match.
-        let status = crate::dma::DmaStatus(n.command_read(t(100), cmd_addr));
-        assert!(!status.is_free());
-        assert!(status.base_matches());
-        // A second start while busy is ignored by hardware.
-        let e2 = n
-            .command_write(t(100), cmd_addr, 16, |_, _| unreachable!("busy engine must not read"))
-            .unwrap();
-        assert_eq!(e2, CommandEffect::DmaBusy);
-        // Packet appears once DMA finishes.
-        assert!(n.pop_outgoing(done_at - SimDuration::from_ns(1)).is_none());
-        let mp = n.pop_outgoing(done_at).unwrap();
-        let packet = mp.into_payload();
-        assert_eq!(packet.payload().len(), 1024);
-        assert_eq!(packet.header().dst_addr, PageNum::new(12).base());
-        assert_eq!(n.stats().dma_packets, 1);
-    }
-
-    /// Regression for the overflow-refill born clamp: a deliberate
-    /// packet whose DMA read finishes in the future (`born == done_at`)
-    /// that detours through the overflow queue must re-enter the FIFO at
-    /// `born`, not at the refill instant. Before the fix, the refill's
-    /// fresh ready time let the packet inject *before* its data existed
-    /// and the pop-site clamp rewrote `born` backwards, silently
-    /// shortening the out-FIFO stage. A session transfer popped in the
-    /// same instant as its refill must show `born == injected` exactly,
-    /// so the stage sums still telescope to end-to-end.
-    #[test]
-    fn overflow_refill_preserves_future_born() {
-        let mut n = nic();
-        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
-        map_out(&mut n, 7, 1, 13, UpdatePolicy::Deliberate);
-        let full_page = PAGE_SIZE as u32 / WORD_SIZE as u32;
-
-        // First transfer: fills just over half the 8 KB out FIFO.
-        let e1 = n
-            .command_write(t(0), n.command_space().command_addr_for(PageNum::new(6).base()),
-                full_page, |_, len| (Payload::from(vec![0x11; len as usize]), t(500)))
-            .unwrap();
-        let CommandEffect::DmaStarted { done_at: done1 } = e1 else {
-            panic!("expected DmaStarted, got {e1:?}");
-        };
-
-        // Second transfer, started once the engine frees: its packet no
-        // longer fits behind the first, so it lands in overflow with a
-        // future born (= its own done_at).
-        let e2 = n
-            .command_write(done1, n.command_space().command_addr_for(PageNum::new(7).base()),
-                full_page, |_, len| (Payload::from(vec![0x22; len as usize]), done1 + SimDuration::from_ns(500)))
-            .unwrap();
-        let CommandEffect::DmaStarted { done_at: done2 } = e2 else {
-            panic!("expected DmaStarted, got {e2:?}");
-        };
-        assert!(done2 > done1);
-
-        // Popping the first packet triggers refill_from_overflow at
-        // `done1`, while the second packet's DMA is still in flight.
-        let first = n.pop_outgoing(done1).expect("first packet ready at its done_at");
-        assert_eq!(first.payload().payload()[0], 0x11);
-
-        // The refilled packet must stay invisible until its read is done…
-        assert!(
-            n.pop_outgoing(done2 - SimDuration::from_ns(1)).is_none(),
-            "overflowed packet must not inject before its DMA read completes"
-        );
-
-        // …and at `done2` it pops with born == injected == done2: the
-        // same-instant refill/pop case telescopes with a zero out-FIFO
-        // stage instead of a clamped, rewritten born.
-        let second = n.pop_outgoing(done2).expect("ready exactly at done_at");
-        let stamp = second.payload().stamp;
-        assert_eq!(stamp.born, done2);
-        assert_eq!(stamp.injected, done2);
-        assert_eq!(stamp.injected.since(stamp.born), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn deliberate_rejects_bad_transfers() {
-        let mut n = nic();
-        map_out(&mut n, 6, 1, 12, UpdatePolicy::Deliberate);
-        let cmd = n
-            .command_space()
-            .command_addr_for(PageNum::new(6).at_offset(4092));
-        // Crossing the page boundary.
-        assert!(matches!(
-            n.command_write(t(0), cmd, 2, |_, _| unreachable!()),
-            Err(NicError::CrossesPageBoundary)
-        ));
-        // Page without a deliberate mapping.
-        let cmd2 = n.command_space().command_addr_for(PageNum::new(7).base());
-        assert!(matches!(
-            n.command_write(t(0), cmd2, 2, |_, _| unreachable!()),
-            Err(NicError::NotDeliberateMapped { .. })
-        ));
-        // Automatic mapping is not deliberate.
-        map_out(&mut n, 8, 1, 13, UpdatePolicy::AutomaticSingle);
-        let cmd3 = n.command_space().command_addr_for(PageNum::new(8).base());
-        assert!(matches!(
-            n.command_write(t(0), cmd3, 2, |_, _| unreachable!()),
-            Err(NicError::NotDeliberateMapped { .. })
-        ));
-    }
-
-    #[test]
-    fn command_switches_policy_and_arms_interrupts() {
-        let mut n = nic();
-        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
-        let cmd = n.command_space().command_addr_for(PageNum::new(2).base());
-        let e = n
-            .command_write(
-                t(0),
-                cmd,
-                CommandOp::SetPolicy(UpdatePolicy::AutomaticBlocked).encode(),
-                |_, _| unreachable!(),
-            )
-            .unwrap();
-        assert_eq!(e, CommandEffect::PolicyChanged);
-        assert_eq!(
-            n.nipt().lookup_out(PageNum::new(2).base()).unwrap().policy,
-            UpdatePolicy::AutomaticBlocked
-        );
-        let e = n
-            .command_write(t(0), cmd, CommandOp::ArmInterrupt.encode(), |_, _| unreachable!())
-            .unwrap();
-        assert_eq!(e, CommandEffect::InterruptToggled);
-        assert!(!n.nipt().entry(PageNum::new(2)).unwrap().is_mapped_in());
-    }
-
-    fn wire_packet_for(
-        n: &NetworkInterface,
-        dst_addr: PhysAddr,
-        data: Vec<u8>,
-    ) -> MeshPacket<ShrimpPacket> {
-        let p = ShrimpPacket::new(
-            WireHeader {
-                dst_coord: n.coord(),
-                src: NodeId(3),
-                dst_addr,
-            },
-            data,
-        );
-        MeshPacket::new(NodeId(3), n.node(), p)
-    }
-
-    #[test]
-    fn incoming_delivery_to_mapped_in_page() {
-        let mut n = nic();
-        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        let mp = wire_packet_for(&n, PageNum::new(4).at_offset(8), vec![9; 16]);
-        n.accept_packet(t(0), mp).unwrap();
-        assert!(n.pop_incoming(t(0)).is_none(), "receive latency first");
-        let d = n.pop_incoming(t(1000)).unwrap().unwrap();
-        assert_eq!(d.dst_addr, PageNum::new(4).at_offset(8));
-        assert_eq!(d.data.as_slice(), &[9u8; 16][..]);
-        assert!(!d.interrupt);
-        assert_eq!(d.src, NodeId(3));
-        assert_eq!(n.stats().packets_received, 1);
-    }
-
-    #[test]
-    fn incoming_to_unmapped_page_drops_and_interrupts() {
-        let mut n = nic();
-        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 4]);
-        n.accept_packet(t(0), mp).unwrap();
-        let r = n.pop_incoming(t(1000)).unwrap();
-        assert!(matches!(r, Err(NicError::NotMappedIn { .. })));
-        assert_eq!(n.stats().unmapped_drops, 1);
-        assert_eq!(n.take_interrupts(), vec![NicInterrupt::BadDelivery]);
-    }
-
-    #[test]
-    fn misrouted_packet_rejected() {
-        let mut n = nic();
-        let p = ShrimpPacket::new(
-            WireHeader {
-                dst_coord: MeshCoord { x: 1, y: 1 },
-                src: NodeId(3),
-                dst_addr: PhysAddr::new(0),
-            },
-            vec![0; 4],
-        );
-        let mp = MeshPacket::new(NodeId(3), n.node(), p);
-        assert!(matches!(
-            n.accept_packet(t(0), mp),
-            Err(NicError::WrongDestination { .. })
-        ));
-        assert_eq!(n.stats().misroutes, 1);
-    }
-
-    #[test]
-    fn corrupted_packet_rejected() {
-        let mut n = nic();
-        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 8]);
-        // A network error: payload bytes change, stored CRC does not.
-        let good = mp.into_payload();
-        let mut corrupted = good.payload().to_vec();
-        corrupted[5] ^= 0xff;
-        let bad = ShrimpPacket::from_parts(*good.header(), corrupted, good.crc());
-        let mp = MeshPacket::new(NodeId(3), n.node(), bad);
-        assert!(matches!(n.accept_packet(t(0), mp), Err(NicError::BadCrc)));
-        assert_eq!(n.stats().crc_drops, 1);
-    }
-
-    #[test]
-    fn arrival_interrupt_fires_once() {
-        let mut n = nic();
-        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        n.nipt_mut().set_interrupt_on_arrival(PageNum::new(4), true).unwrap();
-        for _ in 0..2 {
-            let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 4]);
-            n.accept_packet(t(0), mp).unwrap();
-        }
-        let d1 = n.pop_incoming(t(1000)).unwrap().unwrap();
-        assert!(d1.interrupt);
-        let d2 = n.pop_incoming(t(1000)).unwrap().unwrap();
-        assert!(!d2.interrupt, "one-shot request");
-        assert_eq!(
-            n.take_interrupts(),
-            vec![NicInterrupt::DataArrival { page: PageNum::new(4) }]
-        );
-    }
-
-    #[test]
-    fn incoming_threshold_gates_acceptance() {
-        let mut n = nic();
-        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        assert!(n.can_accept_from_network());
-        // Fill past the threshold (6 KB of 8 KB) with 1 KB payloads.
-        let mut pushed = 0;
-        while n.can_accept_from_network() {
-            let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![0; 1024]);
-            n.accept_packet(t(0), mp).unwrap();
-            pushed += 1;
-        }
-        assert!(pushed >= 6);
-        // Draining re-opens acceptance.
-        while n.pop_incoming(t(1_000_000)).is_some() {}
-        assert!(n.can_accept_from_network());
-    }
-
-    #[test]
-    fn outgoing_threshold_raises_cpu_stall() {
-        let mut n = nic();
-        map_out(&mut n, 2, 1, 9, UpdatePolicy::AutomaticSingle);
-        let addr = PageNum::new(2).base();
-        let mut writes = 0;
-        while !n.cpu_must_stall() {
-            n.snoop_write(t(writes), addr, &[0u8; 4]);
-            writes += 1;
-            assert!(writes < 10_000, "threshold must eventually trip");
-        }
-        assert!(n
-            .take_interrupts()
-            .contains(&NicInterrupt::OutgoingThreshold));
-        // Draining clears the stall.
-        while n.pop_outgoing(SimTime::from_picos(u64::MAX / 2)).is_some() {}
-        n.poll(t(writes));
-        assert!(!n.cpu_must_stall());
-    }
-
-    // ───────────────────── go-back-N retransmission ───────────────────────
-
-    use crate::config::RetxConfig;
-
-    fn rnic(node: u16) -> NetworkInterface {
-        let cfg = NicConfig {
-            retx: RetxConfig::reliable(),
-            ..NicConfig::default()
-        };
-        NetworkInterface::new(NodeId(node), shape(), cfg, 64)
-    }
-
-    /// A sender NIC (node 0) with page 2 mapped single-word to node 1's
-    /// page 4, and the matching receiver NIC.
-    fn rpair() -> (NetworkInterface, NetworkInterface) {
-        let mut s = rnic(0);
-        map_out(&mut s, 2, 1, 4, UpdatePolicy::AutomaticSingle);
-        let mut r = rnic(1);
-        r.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        (s, r)
-    }
-
-    /// Snoops word `i` on the sender and pops the framed mesh packet.
-    fn send_word(s: &mut NetworkInterface, i: u32, at_ns: u64) -> MeshPacket<ShrimpPacket> {
-        let addr = PageNum::new(2).at_offset(u64::from(i) * 4);
-        assert_eq!(s.snoop_write(t(at_ns), addr, &i.to_le_bytes()), SnoopOutcome::Queued);
-        s.pop_outgoing(t(at_ns + 1000)).expect("framed data packet")
-    }
-
-    /// Drains the receiver's control queue into the sender.
-    fn relay_ctl(r: &mut NetworkInterface, s: &mut NetworkInterface, at_ns: u64) -> usize {
-        let mut n = 0;
-        while let Some(mp) = r.pop_outgoing(t(at_ns)) {
-            s.accept_packet(t(at_ns), mp).unwrap();
-            n += 1;
-        }
-        n
-    }
-
-    #[test]
-    fn retx_data_frames_carry_sequence_numbers() {
-        let (mut s, _r) = rpair();
-        for i in 0..3 {
-            let mp = send_word(&mut s, i, u64::from(i) * 2000);
-            let link = mp.payload().link().expect("retx frames data");
-            assert_eq!(link.kind, FrameKind::Data);
-            assert_eq!(link.seq, i);
-            assert!(mp.payload().verify_crc(), "CRC covers the trailer");
-        }
-    }
-
-    #[test]
-    fn retx_acks_retire_the_window() {
-        let (mut s, mut r) = rpair();
-        for i in 0..3 {
-            let mp = send_word(&mut s, i, u64::from(i) * 2000);
-            r.accept_packet(t(u64::from(i) * 2000 + 1100), mp).unwrap();
-        }
-        assert_eq!(r.stats().packets_received, 3);
-        assert_eq!(r.stats().acks_sent, 3);
-        assert_eq!(relay_ctl(&mut r, &mut s, 10_000), 3);
-        assert_eq!(s.stats().acks_received, 3);
-        // Everything acked: no retransmit timer remains.
-        assert!(s.next_deadline().is_none());
-        // In-order delivery out the far side.
-        for i in 0..3u32 {
-            let d = r.pop_incoming(t(50_000)).unwrap().unwrap();
-            assert_eq!(d.data.as_slice(), &i.to_le_bytes());
-        }
-    }
-
-    #[test]
-    fn retx_gap_nack_triggers_go_back_n() {
-        let (mut s, mut r) = rpair();
-        let lost = send_word(&mut s, 0, 0);
-        drop(lost); // the mesh ate frame 0
-        let mp1 = send_word(&mut s, 1, 2000);
-        r.accept_packet(t(3100), mp1).unwrap();
-        assert_eq!(r.stats().gap_drops, 1);
-        assert_eq!(r.stats().nacks_sent, 1);
-        assert_eq!(r.stats().packets_received, 0, "out-of-order is not delivered");
-        // Nack reaches the sender: it replays 0 and 1.
-        assert_eq!(relay_ctl(&mut r, &mut s, 4000), 1);
-        assert_eq!(s.stats().nacks_received, 1);
-        let r0 = s.pop_outgoing(t(4000)).expect("replay of frame 0");
-        assert_eq!(r0.payload().link().unwrap().seq, 0);
-        let r1 = s.pop_outgoing(t(4000)).expect("replay of frame 1");
-        assert_eq!(r1.payload().link().unwrap().seq, 1);
-        assert_eq!(s.stats().retransmissions, 2);
-        r.accept_packet(t(5000), r0).unwrap();
-        r.accept_packet(t(5100), r1).unwrap();
-        assert_eq!(r.stats().packets_received, 2);
-        relay_ctl(&mut r, &mut s, 6000);
-        assert!(s.next_deadline().is_none(), "window fully retired");
-        // Payload order is preserved end to end.
-        for i in 0..2u32 {
-            let d = r.pop_incoming(t(50_000)).unwrap().unwrap();
-            assert_eq!(d.data.as_slice(), &i.to_le_bytes());
-        }
-    }
-
-    #[test]
-    fn retx_duplicates_are_dropped_and_reacked() {
-        let (mut s, mut r) = rpair();
-        let mp = send_word(&mut s, 0, 0);
-        let dup = mp.clone();
-        r.accept_packet(t(1100), mp).unwrap();
-        r.accept_packet(t(1200), dup).unwrap();
-        assert_eq!(r.stats().packets_received, 1);
-        assert_eq!(r.stats().dup_drops, 1);
-        // Both arrivals ack, so a lost first ack cannot wedge the sender.
-        assert_eq!(r.stats().acks_sent, 2);
-    }
-
-    #[test]
-    fn retx_timeout_replays_with_backoff() {
-        let (mut s, mut r) = rpair();
-        let mp = send_word(&mut s, 0, 0);
-        drop(mp); // lost, and no later frame will surface the gap
-        let base = s.config().retx.base_timeout;
-        let first_deadline = s.next_deadline().expect("timer armed");
-        s.poll(first_deadline);
-        assert_eq!(s.stats().retx_timeouts, 1);
-        let replay = s.pop_outgoing(first_deadline).expect("timeout replay");
-        assert_eq!(replay.payload().link().unwrap().seq, 0);
-        assert_eq!(s.stats().retransmissions, 1);
-        // Backoff: the next timer is 2× base after the replay.
-        let second_deadline = s.next_deadline().expect("timer re-armed");
-        assert_eq!(second_deadline, first_deadline + base * 2);
-        // Delivery + ack cancels the timer and resets the backoff.
-        r.accept_packet(second_deadline, replay).unwrap();
-        relay_ctl(&mut r, &mut s, 1_000_000);
-        assert!(s.next_deadline().is_none());
-    }
-
-    #[test]
-    fn retx_window_full_asserts_backpressure() {
-        let cfg = NicConfig {
-            retx: RetxConfig {
-                window_packets: 2,
-                ..RetxConfig::reliable()
-            },
-            ..NicConfig::default()
-        };
-        let mut s = NetworkInterface::new(NodeId(0), shape(), cfg, 64);
-        map_out(&mut s, 2, 1, 4, UpdatePolicy::AutomaticSingle);
-        let mut r = rnic(1);
-        r.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        for i in 0..3u32 {
-            let addr = PageNum::new(2).at_offset(u64::from(i) * 4);
-            s.snoop_write(t(u64::from(i) * 10), addr, &i.to_le_bytes());
-        }
-        let a = s.pop_outgoing(t(5000)).expect("frame 0");
-        let _b = s.pop_outgoing(t(5000)).expect("frame 1");
-        assert!(
-            s.pop_outgoing(t(5000)).is_none(),
-            "window of 2 must hold back the third frame"
-        );
-        // An ack for frame 0 reopens the window.
-        r.accept_packet(t(5100), a).unwrap();
-        relay_ctl(&mut r, &mut s, 6000);
-        let c = s.pop_outgoing(t(6000)).expect("window reopened");
-        assert_eq!(c.payload().link().unwrap().seq, 2);
-    }
-
-    #[test]
-    fn injected_stall_gates_acceptance_until_deadline() {
-        use shrimp_sim::fault::{FaultConfig, NicFaultConfig};
-        let mut n = nic();
-        let cfg = FaultConfig {
-            seed: 3,
-            nic: NicFaultConfig {
-                stall_rate: 1.0,
-                stall: (SimDuration::from_ns(500), SimDuration::from_ns(500)),
-            },
-            ..FaultConfig::default()
-        };
-        n.set_fault_injection(cfg.nic_site(0).expect("active"));
-        n.nipt_mut().set_mapped_in(PageNum::new(4), true).unwrap();
-        assert!(n.can_accept_from_network_at(t(0)));
-        let mp = wire_packet_for(&n, PageNum::new(4).base(), vec![1; 8]);
-        n.accept_packet(t(0), mp).unwrap();
-        assert_eq!(n.stats().fault_stalls, 1);
-        assert!(!n.can_accept_from_network_at(t(100)), "stalled");
-        assert_eq!(n.next_deadline(), Some(t(500)), "wakeup at stall end");
-        assert!(n.can_accept_from_network_at(t(500)), "stall expired");
-        n.poll(t(500));
-        assert!(n.next_deadline().is_none());
     }
 }

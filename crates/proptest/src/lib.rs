@@ -249,6 +249,7 @@ tuple_strategy!(A/0, B/1);
 tuple_strategy!(A/0, B/1, C/2);
 tuple_strategy!(A/0, B/1, C/2, D/3);
 tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
 
 /// Collection strategies (`prop::collection`).
 pub mod collection {

@@ -12,6 +12,8 @@
 //! seed <u64>                         # master seed; every stream derives from it
 //! pages <u64>                        # physical pages per node (>= 32)
 //! users <u32>                        # closed-loop concurrency cap
+//! nic <shrimp|unpinned>              # optional NIC backend (default shrimp);
+//!                                    # `nic=<backend>` is accepted too
 //! fault drop=<f64> corrupt=<f64> seed=<u64>     # optional; enables go-back-N
 //! link fail=LO..HI repair=LO..HI times=N        # optional; per-link churn
 //! session rpc count=N src=S dst=D requests=R request=B response=B \
@@ -28,6 +30,7 @@
 
 use std::fmt::Write as _;
 
+use shrimp_nic::NicBackend;
 use shrimp_sim::SimDuration;
 
 /// Bytes per page — must agree with `shrimp_mem::PAGE_SIZE`.
@@ -219,6 +222,9 @@ pub struct Scenario {
     pub pages: u64,
     /// Closed-loop concurrency cap.
     pub users: u32,
+    /// NIC backend the machine is built with (`nic` line; defaults to
+    /// the paper's pinned SHRIMP design).
+    pub nic: NicBackend,
     /// Optional fault injection.
     pub fault: Option<FaultSpec>,
     /// Optional link churn.
@@ -249,6 +255,7 @@ impl Scenario {
         let mut seed: Option<u64> = None;
         let mut pages: Option<u64> = None;
         let mut users: Option<u32> = None;
+        let mut nic: Option<NicBackend> = None;
         let mut fault: Option<FaultSpec> = None;
         let mut churn: Option<ChurnSpec> = None;
         let mut specs: Vec<SessionSpec> = Vec::new();
@@ -298,6 +305,12 @@ impl Scenario {
                 }
                 "users" => {
                     users = Some(parse_u64(rest, ln, "users")? as u32);
+                }
+                "nic" => {
+                    if nic.is_some() {
+                        return err(ln, "duplicate `nic` line");
+                    }
+                    nic = Some(parse_backend(rest, ln)?);
                 }
                 "fault" => {
                     if fault.is_some() {
@@ -365,6 +378,13 @@ impl Scenario {
                     kv.finish()?;
                     specs.push(SessionSpec { count, src, dst, kind });
                 }
+                // The issue-tracker spelling `nic=<backend>` as one token.
+                other if other.starts_with("nic=") && rest.is_empty() => {
+                    if nic.is_some() {
+                        return err(ln, "duplicate `nic` line");
+                    }
+                    nic = Some(parse_backend(&other["nic=".len()..], ln)?);
+                }
                 other => return err(ln, format!("unknown directive {other:?}")),
             }
         }
@@ -375,6 +395,7 @@ impl Scenario {
             seed: seed.ok_or(DslError { line: 0, message: "missing `seed` line".into() })?,
             pages: pages.unwrap_or(256),
             users: users.ok_or(DslError { line: 0, message: "missing `users` line".into() })?,
+            nic: nic.unwrap_or_default(),
             fault,
             churn,
             specs,
@@ -509,6 +530,9 @@ impl Scenario {
         let _ = writeln!(out, "seed {}", self.seed);
         let _ = writeln!(out, "pages {}", self.pages);
         let _ = writeln!(out, "users {}", self.users);
+        if self.nic != NicBackend::default() {
+            let _ = writeln!(out, "nic {}", self.nic.as_str());
+        }
         if let Some(f) = &self.fault {
             let _ = writeln!(out, "fault drop={} corrupt={} seed={}", f.drop, f.corrupt, f.seed);
         }
@@ -551,6 +575,14 @@ impl Scenario {
         }
         out
     }
+}
+
+fn parse_backend(s: &str, line: usize) -> Result<NicBackend, DslError> {
+    NicBackend::parse(s)
+        .ok_or_else(|| DslError {
+            line,
+            message: format!("unknown nic backend {s:?} (want shrimp|unpinned)"),
+        })
 }
 
 fn parse_u64(s: &str, line: usize, what: &str) -> Result<u64, DslError> {
@@ -730,6 +762,31 @@ mod tests {
         assert!(Scenario::parse(&bad).is_err(), "zero churn cycles");
         let bad = minimal() + "link fail=80us..40us repair=5us..10us times=1\n";
         assert!(Scenario::parse(&bad).is_err(), "inverted fail range");
+    }
+
+    #[test]
+    fn nic_line_round_trips_both_spellings() {
+        let sc = Scenario::parse(&minimal()).unwrap();
+        assert_eq!(sc.nic, NicBackend::Shrimp);
+        assert!(!sc.to_text().contains("nic "), "default backend is implicit");
+
+        for directive in ["nic unpinned\n", "nic=unpinned\n"] {
+            let sc = Scenario::parse(&(minimal() + directive)).unwrap();
+            assert_eq!(sc.nic, NicBackend::Unpinned);
+            let text = sc.to_text();
+            assert!(text.contains("nic unpinned"), "canonical form: {text}");
+            assert_eq!(Scenario::parse(&text).unwrap(), sc);
+        }
+
+        assert!(Scenario::parse(&(minimal() + "nic rdma\n")).is_err(), "unknown backend");
+        assert!(
+            Scenario::parse(&(minimal() + "nic shrimp\nnic unpinned\n")).is_err(),
+            "duplicate nic line"
+        );
+        assert!(
+            Scenario::parse(&(minimal() + "nic=unpinned extra\n")).is_err(),
+            "trailing tokens after nic="
+        );
     }
 
     #[test]

@@ -150,6 +150,7 @@ fn run_with(
 ) -> Result<(Report, Machine), WorkloadError> {
     let mut cfg = MachineConfig::prototype(MeshShape::new(sc.mesh.0, sc.mesh.1));
     cfg.pages_per_node = sc.pages;
+    cfg.nic_backend = sc.nic;
     cfg.telemetry.latency = true;
     // Always reliable: under incast congestion a full-page packet can
     // arrive when the receive FIFO is past its backpressure threshold

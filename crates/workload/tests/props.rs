@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use shrimp_nic::NicBackend;
 use shrimp_sim::SimDuration;
 use shrimp_workload::dsl::{ChurnSpec, DurRange, FaultSpec, NodeSel, Scenario, SessionKind, SessionSpec};
 use shrimp_workload::run_scenario;
@@ -75,23 +76,35 @@ fn arb_spec() -> impl Strategy<Value = SessionSpec> {
     })
 }
 
+fn arb_backend() -> impl Strategy<Value = NicBackend> {
+    any::<bool>().prop_map(|unpinned| {
+        if unpinned {
+            NicBackend::Unpinned
+        } else {
+            NicBackend::Shrimp
+        }
+    })
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         any::<u64>(),
         32u64..200,
         1u32..8,
+        arb_backend(),
         (
             prop::option::of((0u32..100, 0u32..100, any::<u64>())),
             prop::option::of((1u64..50, 0u64..50, 1u64..50, 0u64..50, 1u32..4)),
         ),
         prop::collection::vec(arb_spec(), 1..5),
     )
-        .prop_map(|(seed, pages, users, (fault, churn), specs)| Scenario {
+        .prop_map(|(seed, pages, users, nic, (fault, churn), specs)| Scenario {
             name: "generated".into(),
             mesh: (2, 2),
             seed,
             pages,
             users,
+            nic,
             fault: fault.map(|(d, c, s)| FaultSpec {
                 drop: f64::from(d) / 1000.0,
                 corrupt: f64::from(c) / 1000.0,
@@ -136,6 +149,7 @@ proptest! {
             seed,
             pages: 32,
             users: 2,
+            nic: NicBackend::Shrimp,
             fault: None,
             churn: None,
             specs: vec![SessionSpec {

@@ -63,6 +63,16 @@ fn golden_mixed() {
     check_golden("mixed", 0x5006_25d5_0f2e_70e3, 623, 240);
 }
 
+/// The mixed session mix on the NP-RDMA-style unpinned backend: IOTLB
+/// misses and dynamic map-ins replay byte-identically across the
+/// worker sweep, and the run takes visibly longer simulated time than
+/// `golden_mixed` (same load, same seed) because first-touch pages pay
+/// the kernel map-in round trip.
+#[test]
+fn golden_unpinned() {
+    check_golden("unpinned", 0x3faa_3d7d_3b6f_b366, 672, 240);
+}
+
 #[test]
 fn golden_faulted() {
     check_golden("faulted", 0x5847_1dfe_84a5_26ce, 201, 54);
